@@ -1,0 +1,178 @@
+// Ablation: enforcing cross-actor relationship constraints (paper §4.4).
+//
+// The ownership relation between cows and farmers spans actors. The paper's
+// options: (a) transactions, (b) a multi-actor update workflow, (c) naive
+// uncoordinated updates (what you get with neither). This bench races two
+// concurrent transfers per cow to different buyers and reports latency,
+// messages, and — the §4.4 point — consistency violations: cows whose
+// recorded owner disagrees with the farmers' herd sets afterwards.
+
+#include <cstdio>
+#include <set>
+
+#include "cattle/platform.h"
+#include "common/table_printer.h"
+#include "sim/sim_harness.h"
+
+namespace aodb::bench {
+namespace {
+
+using namespace aodb::cattle;
+
+constexpr int kCowsPerMode = 60;
+
+struct ModeResult {
+  Micros total_time = 0;
+  int committed = 0;
+  int violations = 0;
+  bool ok = false;
+};
+
+enum class Mode { kTxn, kWorkflow, kDirect };
+
+const char* ModeName(Mode m) {
+  switch (m) {
+    case Mode::kTxn: return "2PC transaction";
+    case Mode::kWorkflow: return "saga workflow";
+    case Mode::kDirect: return "uncoordinated tells";
+  }
+  return "?";
+}
+
+ModeResult RunMode(Mode mode) {
+  ModeResult out;
+  RuntimeOptions runtime;
+  runtime.num_silos = 3;
+  runtime.workers_per_silo = 2;
+  runtime.seed = 17;
+  SimHarness harness(runtime);
+  CattlePlatform::RegisterTypes(harness.cluster());
+  CattlePlatform platform(&harness.cluster());
+
+  // Every cow starts at farm-src; two buyers race for it.
+  for (int i = 0; i < kCowsPerMode; ++i) {
+    platform.RegisterCow(CattlePlatform::CowKey(i), "farm-src", "Angus");
+  }
+  harness.RunFor(60 * kMicrosPerSecond);
+
+  Micros t0 = harness.Now();
+  // A dedicated coordinator with a larger retry budget: all transfers
+  // contend on the single seller actor's lock.
+  TxnManager txn(&harness.cluster(), TxnOptions{60, 5 * kMicrosPerMilli});
+  std::vector<Future<Status>> transfers;
+  for (int i = 0; i < kCowsPerMode; ++i) {
+    std::string cow = CattlePlatform::CowKey(i);
+    for (const char* buyer : {"farm-buy-a", "farm-buy-b"}) {
+      switch (mode) {
+        case Mode::kTxn:
+          transfers.push_back(txn.Run({
+              TxnOp{CowActor::kTypeName, cow, CowActor::kOpSetOwner, buyer},
+              TxnOp{FarmerActor::kTypeName, "farm-src",
+                    FarmerActor::kOpRemoveCow, cow},
+              TxnOp{FarmerActor::kTypeName, buyer, FarmerActor::kOpAddCow,
+                    cow},
+          }));
+          break;
+        case Mode::kWorkflow:
+          transfers.push_back(
+              platform.TransferOwnershipWorkflow(cow, "farm-src", buyer));
+          break;
+        case Mode::kDirect: {
+          // No coordination: three independent fire-and-forget updates.
+          auto& cluster = harness.cluster();
+          cluster.Ref<CowActor>(cow).Tell(&CowActor::ExecuteOp,
+                                          std::string(CowActor::kOpSetOwner),
+                                          std::string(buyer));
+          cluster.Ref<FarmerActor>("farm-src")
+              .Tell(&FarmerActor::ExecuteOp,
+                    std::string(FarmerActor::kOpRemoveCow), cow);
+          cluster.Ref<FarmerActor>(buyer).Tell(
+              &FarmerActor::ExecuteOp, std::string(FarmerActor::kOpAddCow),
+              cow);
+          break;
+        }
+      }
+    }
+  }
+  if (transfers.empty()) {
+    // Uncoordinated tells: run until the message flow quiesces.
+    int64_t prev = -1;
+    while (harness.cluster().TotalMessagesProcessed() != prev) {
+      prev = harness.cluster().TotalMessagesProcessed();
+      harness.RunFor(kMicrosPerSecond);
+    }
+  } else {
+    for (auto& f : transfers) {
+      if (!RunUntilReady(harness, f, 600 * kMicrosPerSecond)) break;
+    }
+  }
+  for (auto& f : transfers) {
+    if (f.Ready() && f.Get().ok() && f.Get().value().ok()) ++out.committed;
+  }
+  out.total_time = harness.Now() - t0;
+
+  // Consistency audit: exactly one farmer must hold each cow, and it must
+  // be the cow's recorded owner.
+  auto src = harness.cluster().Ref<FarmerActor>("farm-src").Call(
+      &FarmerActor::Herd);
+  auto a = harness.cluster().Ref<FarmerActor>("farm-buy-a").Call(
+      &FarmerActor::Herd);
+  auto b = harness.cluster().Ref<FarmerActor>("farm-buy-b").Call(
+      &FarmerActor::Herd);
+  harness.RunFor(10 * kMicrosPerSecond);
+  if (!src.Ready() || !a.Ready() || !b.Ready()) return out;
+  std::map<std::string, std::set<std::string>> holders;
+  for (const auto& [farm, herd] :
+       {std::pair<std::string, std::vector<std::string>>{
+            "farm-src", src.Get().value()},
+        {"farm-buy-a", a.Get().value()},
+        {"farm-buy-b", b.Get().value()}}) {
+    for (const std::string& cow : herd) holders[cow].insert(farm);
+  }
+  for (int i = 0; i < kCowsPerMode; ++i) {
+    std::string cow = CattlePlatform::CowKey(i);
+    auto info_f = harness.cluster().Ref<CowActor>(cow).Call(&CowActor::Info);
+    harness.RunFor(2 * kMicrosPerSecond);
+    if (!info_f.Ready()) return out;
+    std::string owner = info_f.Get().value().owner_farmer;
+    const auto& hs = holders[cow];
+    bool consistent = hs.size() == 1 && *hs.begin() == owner;
+    if (!consistent) ++out.violations;
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace
+}  // namespace aodb::bench
+
+int main() {
+  using namespace aodb;
+  using namespace aodb::bench;
+
+  std::printf(
+      "=== Ablation: cross-actor constraint enforcement (paper §4.4) ===\n");
+  std::printf(
+      "%d cows, 2 racing transfers each (to different buyers) per mode\n\n",
+      kCowsPerMode);
+
+  TablePrinter table({"mechanism", "committed", "violations",
+                      "wall time (ms)"});
+  for (Mode mode : {Mode::kTxn, Mode::kWorkflow, Mode::kDirect}) {
+    ModeResult r = RunMode(mode);
+    if (!r.ok) {
+      std::fprintf(stderr, "mode %s failed\n", ModeName(mode));
+      return 1;
+    }
+    table.AddRow({ModeName(mode), TablePrinter::Fmt(int64_t{r.committed}),
+                  TablePrinter::Fmt(int64_t{r.violations}),
+                  TablePrinter::FmtMsFromUs(r.total_time)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: transactions serialize the racing transfers (one"
+      "\ncommit per cow, zero violations). The workflow also converges but"
+      "\nadmits transient intermediate states. Uncoordinated updates leave"
+      "\npermanent violations — the paper's argument for §4.4's principle.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Ablation: grain-state durability policy (paper §5).
+//
+// "If we wrote state to persistent storage after each request, we would
+// need 200 write requests every second to the cloud storage system."
+// The paper therefore recommends collecting a window of updates before
+// forcing them to storage (and its benchmarks only write at shutdown).
+// This bench runs the ingestion workload against the simulated DynamoDB
+// (200 provisioned write units/s, as in the paper's setup) under all three
+// policies and reports storage traffic and throttling.
+
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "shm_bench_util.h"
+#include "storage/cloud_kv.h"
+#include "storage/mem_kv.h"
+
+namespace aodb::bench {
+namespace {
+
+struct PolicyResult {
+  ShmRunResult run;
+  int64_t cloud_writes = 0;
+  int64_t throttled = 0;
+};
+
+PolicyResult RunWithPolicy(PersistPolicy policy) {
+  PolicyResult out;
+  RuntimeOptions runtime;
+  runtime.num_silos = 1;
+  runtime.workers_per_silo = 2;
+  runtime.seed = 99;
+
+  SimHarness harness(runtime);
+  auto backing = std::make_shared<MemKvStore>();
+  CloudKvOptions cloud_opts;
+  cloud_opts.write_units_per_sec = 200;  // The paper's provisioning.
+  // Reads burst only during setup (one state read per activation); keep
+  // them out of the picture so the bench isolates write behaviour.
+  cloud_opts.read_units_per_sec = 5000;
+  cloud_opts.max_throttle_wait_us = 2 * kMicrosPerSecond;
+  auto cloud =
+      std::make_shared<CloudKvStateStorage>(backing.get(), cloud_opts);
+  harness.cluster().RegisterStateStorage("default", cloud);
+
+  PersistenceOptions persistence;
+  persistence.policy = policy;
+  persistence.window_updates = 60;  // ~1 write/channel/minute.
+  persistence.window_interval_us = 60 * kMicrosPerSecond;
+  shm::ShmPlatform::RegisterTypes(harness.cluster(), persistence);
+  shm::ShmPlatform::ApplyPaperPlacement(harness.cluster());
+  shm::ShmPlatform platform(&harness.cluster());
+
+  shm::ShmTopology topology;
+  topology.sensors = 200;  // 200 req/s -> 400+ state updates/s offered.
+  topology.window_capacity = 128;
+  auto setup = platform.Setup(topology);
+  harness.RunFor(120 * kMicrosPerSecond);
+  if (!setup.Ready() || !setup.Get().value_or(Status::Internal("")).ok()) {
+    return out;
+  }
+  int64_t writes_before = cloud->writes();
+
+  LoadGenOptions load;
+  load.duration_us = BenchDurationUs();
+  ShmLoadGen gen(&platform, topology, harness.client_executor(), load);
+  gen.Start();
+  harness.RunUntil(gen.end_time() + 30 * kMicrosPerSecond);
+
+  out.run.setup_ok = true;
+  out.run.report = gen.Finish();
+  out.cloud_writes = cloud->writes() - writes_before;
+  out.throttled = cloud->throttled();
+  return out;
+}
+
+}  // namespace
+}  // namespace aodb::bench
+
+int main() {
+  using namespace aodb;
+  using namespace aodb::bench;
+
+  std::printf(
+      "=== Ablation: durability policy vs provisioned cloud capacity "
+      "(paper §5) ===\n");
+  std::printf(
+      "200 sensors (420 channel updates/s offered) vs 200 provisioned write "
+      "units/s\n\n");
+
+  TablePrinter table({"policy", "achieved req/s", "cloud writes",
+                      "writes/s", "throttled"});
+  struct Named {
+    PersistPolicy policy;
+    const char* name;
+  };
+  const Named kPolicies[] = {
+      {PersistPolicy::kOnEveryUpdate, "write-per-update"},
+      {PersistPolicy::kWindowed, "windowed (60 updates)"},
+      {PersistPolicy::kOnDeactivate, "on-deactivate (paper bench)"},
+  };
+  double seconds =
+      static_cast<double>(BenchDurationUs()) / kMicrosPerSecond;
+  for (const Named& p : kPolicies) {
+    PolicyResult r = RunWithPolicy(p.policy);
+    if (!r.run.setup_ok) {
+      std::fprintf(stderr, "setup failed for %s\n", p.name);
+      return 1;
+    }
+    table.AddRow({p.name,
+                  TablePrinter::Fmt(r.run.report.achieved_insert_rps, 1),
+                  TablePrinter::Fmt(r.cloud_writes),
+                  TablePrinter::Fmt(
+                      static_cast<double>(r.cloud_writes) / seconds, 1),
+                  TablePrinter::Fmt(r.throttled)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: write-per-update exceeds the provisioned 200 units/s"
+      "\nand throttles heavily; the windowed policy reduces storage traffic"
+      "\nby ~the window factor; on-deactivate writes nothing during steady"
+      "\nstate. Ingestion throughput is unaffected (write-behind).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 7 reproduction: scale-out over multiple servers.
+//
+// Paper setup: scale factor k in 1..8 maps to k m5.xlarge silos and
+// 2,100 * k simulated sensors (the per-server baseline derived from the
+// single-server experiment: ~1,800 req/s minus 20% headroom, rounded to
+// 1,400, times the 1.5x m5.large -> m5.xlarge ECU ratio). Placement is the
+// paper's: sensors random, channels and aggregators prefer-local. The paper
+// observes throughput within a few percent of the offered load through
+// scale factor 8 (e.g. >10,000 req/s at k=5, >16,000 at k=8) with no knee.
+//
+// We model the m5.xlarge as 3 virtual workers (the same 1.5x ECU ratio the
+// paper itself uses to convert between instance types).
+
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "shm_bench_util.h"
+
+int main() {
+  using namespace aodb;
+  using namespace aodb::bench;
+
+  constexpr int kSensorsPerSilo = 2100;
+
+  std::printf("=== Figure 7: scale-out (k silos x 3 vCPU m5.xlarge, %d "
+              "sensors per silo) ===\n",
+              kSensorsPerSilo);
+  std::printf("Paper reference: near-linear scaling through scale factor 8\n\n");
+
+  TablePrinter table({"scale", "silos", "sensors", "offered req/s",
+                      "achieved req/s", "stddev", "efficiency%", "util%"});
+
+  for (int k = 1; k <= 8; ++k) {
+    ShmRunConfig config;
+    config.runtime.num_silos = k;
+    config.runtime.workers_per_silo = 3;  // m5.xlarge via the 1.5x ECU ratio.
+    config.runtime.seed = 1000 + k;
+    config.topology.sensors = kSensorsPerSilo * k;
+    config.load.duration_us = BenchDurationUs();
+    config.load.user_queries = false;
+    ShmRunResult r = RunShmExperiment(config);
+    if (!r.setup_ok) {
+      std::fprintf(stderr, "setup failed at scale %d\n", k);
+      return 1;
+    }
+    double offered = static_cast<double>(config.topology.sensors);
+    double efficiency = 100.0 * r.report.achieved_insert_rps / offered;
+    table.AddRow({TablePrinter::Fmt(static_cast<int64_t>(k)),
+                  TablePrinter::Fmt(static_cast<int64_t>(k)),
+                  TablePrinter::Fmt(
+                      static_cast<int64_t>(config.topology.sensors)),
+                  TablePrinter::Fmt(offered, 0),
+                  TablePrinter::Fmt(r.report.achieved_insert_rps, 1),
+                  TablePrinter::Fmt(r.report.achieved_rps_stddev, 1),
+                  TablePrinter::Fmt(efficiency, 1),
+                  TablePrinter::Fmt(r.utilization * 100, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: achieved tracks offered within a few percent at every"
+      "\nscale factor (paper: >10k req/s at k=5, >16k at k=8, no knee).\n");
+  return 0;
+}

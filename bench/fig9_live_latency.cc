@@ -1,0 +1,61 @@
+// Figure 9 reproduction: latency percentiles of organization live-data
+// requests, concurrent with data ingestion.
+//
+// Same setup as Figure 8; a live-data request fans out to all ~210 channels
+// of one organization and gathers their latest values, which is why the
+// paper observes it slower than the single-actor raw-range request ("often
+// below 1 sec" at 2,000 sensors, with a visible 99.9th-percentile tail).
+
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "shm_bench_util.h"
+
+int main() {
+  using namespace aodb;
+  using namespace aodb::bench;
+
+  std::printf(
+      "=== Figure 9: organization live-data request latency under ingestion "
+      "load ===\n");
+  std::printf(
+      "A live request gathers the latest value of all ~210 channels of one "
+      "organization\n");
+  std::printf("Paper reference: <1s at 2000 sensors; slower than raw-range "
+              "(Figure 8)\n\n");
+
+  TablePrinter table({"sensors", "live_reqs", "mean_ms", "p50_ms", "p90_ms",
+                      "p99_ms", "p99.9_ms", "max_ms", "util%"});
+
+  const int kSweep[] = {500, 1000, 1500, 2000};
+  for (int sensors : kSweep) {
+    ShmRunConfig config;
+    config.runtime.num_silos = 1;
+    config.runtime.workers_per_silo = 3;  // m5.xlarge.
+    config.runtime.seed = 3000 + sensors;
+    config.topology.sensors = sensors;
+    config.load.duration_us = BenchDurationUs();
+    config.load.user_queries = true;
+    ShmRunResult r = RunShmExperiment(config);
+    if (!r.setup_ok) {
+      std::fprintf(stderr, "setup failed at %d sensors\n", sensors);
+      return 1;
+    }
+    const Histogram& h = r.report.live_latency_us;
+    table.AddRow({TablePrinter::Fmt(static_cast<int64_t>(sensors)),
+                  TablePrinter::Fmt(h.count()),
+                  TablePrinter::FmtMsFromUs(static_cast<int64_t>(h.Mean())),
+                  TablePrinter::FmtMsFromUs(h.Percentile(50)),
+                  TablePrinter::FmtMsFromUs(h.Percentile(90)),
+                  TablePrinter::FmtMsFromUs(h.Percentile(99)),
+                  TablePrinter::FmtMsFromUs(h.Percentile(99.9)),
+                  TablePrinter::FmtMsFromUs(h.max()),
+                  TablePrinter::Fmt(r.utilization * 100, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: monotone growth with load; live-data latency exceeds"
+      "\nFigure 8's raw-range latency at equal load (fan-out of ~210 actors"
+      "\nvs 1); still interactive (<~1s) at the design point.\n");
+  return 0;
+}

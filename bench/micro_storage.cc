@@ -1,0 +1,117 @@
+// Micro-benchmarks of the storage substrate (real wall-clock time): KV
+// stores, the persistent log-structured store, the binary codec, CRC32C,
+// and the latency histogram.
+
+#include <filesystem>
+
+#include <benchmark/benchmark.h>
+
+#include "common/codec.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "shm/channel_actor.h"
+#include "storage/file_kv.h"
+#include "storage/mem_kv.h"
+
+namespace aodb {
+namespace {
+
+void BM_MemKvPut(benchmark::State& state) {
+  MemKvStore kv;
+  Rng rng(1);
+  std::string value(128, 'v');
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kv.Put("key" + std::to_string(i++ % 10000), value));
+  }
+  state.SetItemsProcessed(i);
+}
+BENCHMARK(BM_MemKvPut);
+
+void BM_MemKvGet(benchmark::State& state) {
+  MemKvStore kv;
+  std::string value(128, 'v');
+  for (int i = 0; i < 10000; ++i) {
+    (void)kv.Put("key" + std::to_string(i), value);
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kv.Get("key" + std::to_string(i++ % 10000)));
+  }
+  state.SetItemsProcessed(i);
+}
+BENCHMARK(BM_MemKvGet);
+
+void BM_FileKvPut(benchmark::State& state) {
+  auto dir = std::filesystem::temp_directory_path() / "aodb_bench_filekv";
+  std::filesystem::remove_all(dir);
+  auto kv = std::move(FileKvStore::Open(dir.string()).value());
+  std::string value(static_cast<size_t>(state.range(0)), 'v');
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kv->Put("key" + std::to_string(i++ % 1000), value));
+  }
+  state.SetBytesProcessed(i * state.range(0));
+  kv->Close();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_FileKvPut)->Arg(128)->Arg(4096);
+
+void BM_ChannelStateEncodeDecode(benchmark::State& state) {
+  shm::ChannelState channel;
+  channel.config.org_key = "org-1";
+  channel.config.aggregator_key = "agg-1";
+  Rng rng(3);
+  for (int i = 0; i < 1024; ++i) {
+    channel.window.push_back(
+        shm::DataPoint{i * 1000, rng.Normal(0, 1)});
+  }
+  channel.accumulated_change = 123.0;
+  channel.total_points = 99999;
+  for (auto _ : state) {
+    BufWriter w;
+    channel.Encode(&w);
+    shm::ChannelState decoded;
+    BufReader r(w.data());
+    benchmark::DoNotOptimize(decoded.Decode(&r));
+  }
+}
+BENCHMARK(BM_ChannelStateEncodeDecode);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Rng rng(9);
+  for (auto _ : state) {
+    h.Record(static_cast<int64_t>(rng.NextBelow(10000000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramPercentile(benchmark::State& state) {
+  Histogram h;
+  Rng rng(9);
+  for (int i = 0; i < 100000; ++i) {
+    h.Record(static_cast<int64_t>(rng.NextBelow(10000000)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.Percentile(99.9));
+  }
+}
+BENCHMARK(BM_HistogramPercentile);
+
+}  // namespace
+}  // namespace aodb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Identity of virtual actors. A virtual actor is addressed by (type, key)
+// and is logically always existent (Orleans-style); the runtime activates an
+// in-memory instance on demand.
+
+#ifndef AODB_ACTOR_ACTOR_ID_H_
+#define AODB_ACTOR_ACTOR_ID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace aodb {
+
+/// Logical id of the silo (server process) hosting an activation.
+/// kClientSiloId denotes an external client node (the benchmarking tool /
+/// stateless front-end), which can send messages but hosts no actors.
+using SiloId = int32_t;
+constexpr SiloId kClientSiloId = -1;
+
+/// Address of a virtual actor: actor type name plus a string key.
+struct ActorId {
+  std::string type;
+  std::string key;
+
+  bool operator==(const ActorId& other) const {
+    return type == other.type && key == other.key;
+  }
+  bool operator!=(const ActorId& other) const { return !(*this == other); }
+
+  std::string ToString() const { return type + "/" + key; }
+};
+
+/// FNV-1a hash over type and key; used by the directory and hash placement.
+struct ActorIdHash {
+  size_t operator()(const ActorId& id) const {
+    uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](const std::string& s) {
+      for (char c : s) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 1099511628211ULL;
+      }
+      h ^= 0xff;
+      h *= 1099511628211ULL;
+    };
+    mix(id.type);
+    mix(id.key);
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Authenticated caller identity attached to every message; the basis for
+/// application-level access control (multi-tenancy requirement 7 of the
+/// paper). Empty tenant means "system / unauthenticated".
+struct Principal {
+  std::string tenant;
+  std::string role;
+
+  bool empty() const { return tenant.empty() && role.empty(); }
+};
+
+}  // namespace aodb
+
+#endif  // AODB_ACTOR_ACTOR_ID_H_

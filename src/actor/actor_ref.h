@@ -1,0 +1,204 @@
+// Typed references to virtual actors: the client- and actor-side API for
+// asynchronous method invocation.
+//
+//   ActorRef<CowActor> cow = cluster.Ref<CowActor>("cow-42");
+//   Future<GeoPoint> loc = cow.Call(&CowActor::Location);
+//   cow.Tell(&CowActor::ReportReading, reading);   // fire-and-forget
+//
+// Methods may return plain values, Status, Result<T>, or Future<T> (for
+// actor methods that themselves await other actors). Arguments are copied
+// into the message (messages are immutable values, per the actor model).
+
+#ifndef AODB_ACTOR_ACTOR_REF_H_
+#define AODB_ACTOR_ACTOR_REF_H_
+
+#include <tuple>
+#include <utility>
+
+#include "actor/actor.h"
+#include "actor/cluster.h"
+#include "actor/envelope.h"
+#include "actor/future.h"
+
+namespace aodb {
+
+namespace internal {
+
+/// Maps an actor method's return type R to the value type of the Future
+/// returned by Call.
+template <typename R>
+struct CallResult {
+  using type = R;
+};
+template <>
+struct CallResult<void> {
+  using type = Unit;
+};
+template <typename U>
+struct CallResult<Future<U>> {
+  using type = U;
+};
+
+}  // namespace internal
+
+/// Per-call overrides: simulated CPU cost and wire size of the request.
+struct CallOptions {
+  Micros cost_us = kDefaultMessageCostUs;
+  int64_t request_bytes = 128;
+  int64_t response_bytes = 128;
+};
+
+/// A typed handle to a virtual actor of type TActor. Cheap to copy. The
+/// referenced actor is activated on first message.
+template <typename TActor>
+class ActorRef {
+ public:
+  ActorRef() : cluster_(nullptr), caller_silo_(kClientSiloId) {}
+  ActorRef(Cluster* cluster, ActorId id, SiloId caller_silo,
+           Principal principal = {})
+      : cluster_(cluster),
+        id_(std::move(id)),
+        caller_silo_(caller_silo),
+        principal_(std::move(principal)) {}
+
+  const ActorId& id() const { return id_; }
+  const std::string& key() const { return id_.key; }
+  bool valid() const { return cluster_ != nullptr; }
+
+  /// Returns a copy of this ref that sends with the given principal
+  /// (tenant identity for access control).
+  ActorRef WithPrincipal(Principal p) const {
+    ActorRef copy = *this;
+    copy.principal_ = std::move(p);
+    return copy;
+  }
+
+  /// Asynchronously invokes an actor method, returning a future of its
+  /// result. The request and the response each pay network delay if caller
+  /// and target are on different nodes.
+  template <typename R, typename C, typename... MArgs, typename... Args>
+  Future<typename internal::CallResult<R>::type> Call(R (C::*method)(MArgs...),
+                                                      Args&&... args) const {
+    return CallWith(CallOptions{}, method, std::forward<Args>(args)...);
+  }
+
+  /// Call with explicit cost/size options (used by the calibrated workloads).
+  template <typename R, typename C, typename... MArgs, typename... Args>
+  Future<typename internal::CallResult<R>::type> CallWith(
+      const CallOptions& opts, R (C::*method)(MArgs...),
+      Args&&... args) const {
+    static_assert(std::is_base_of_v<C, TActor>,
+                  "method must belong to the referenced actor type");
+    using RT = typename internal::CallResult<R>::type;
+    Promise<RT> promise;
+    Envelope env;
+    env.target = id_;
+    env.caller_silo = caller_silo_;
+    env.principal = principal_;
+    env.cost_us = opts.cost_us;
+    env.approx_bytes = opts.request_bytes;
+    SiloId caller = caller_silo_;
+    Cluster* cluster = cluster_;
+    int64_t response_bytes = opts.response_bytes;
+    auto args_tuple =
+        std::make_shared<std::tuple<std::decay_t<MArgs>...>>(
+            std::forward<Args>(args)...);
+    env.fn = [method, args_tuple, promise, caller, cluster,
+              response_bytes](ActorBase& base) {
+      TActor& actor = static_cast<TActor&>(base);
+      SiloId here = actor.ctx().silo();
+      auto deliver = [cluster, promise, caller, here,
+                      response_bytes](Result<RT>&& r) {
+        cluster->SendReply(here, caller, response_bytes,
+                           [promise, r = std::move(r)]() mutable {
+                             promise.SetResult(std::move(r));
+                           });
+      };
+      if constexpr (IsFuture<R>::value) {
+        std::apply(
+            [&](auto&... unpacked) {
+              (actor.*method)(unpacked...)
+                  .OnReady([deliver](Result<RT>&& r) mutable {
+                    deliver(std::move(r));
+                  });
+            },
+            *args_tuple);
+      } else if constexpr (std::is_void_v<R>) {
+        std::apply([&](auto&... unpacked) { (actor.*method)(unpacked...); },
+                   *args_tuple);
+        deliver(Result<RT>(Unit{}));
+      } else {
+        R value = std::apply(
+            [&](auto&... unpacked) { return (actor.*method)(unpacked...); },
+            *args_tuple);
+        deliver(Result<RT>(std::move(value)));
+      }
+    };
+    env.fail = [promise](const Status& st) { promise.SetError(st); };
+    cluster_->Send(std::move(env));
+    return promise.GetFuture();
+  }
+
+  /// Fire-and-forget invocation: no reply, failures are dropped.
+  template <typename R, typename C, typename... MArgs, typename... Args>
+  void Tell(R (C::*method)(MArgs...), Args&&... args) const {
+    TellWith(CallOptions{}, method, std::forward<Args>(args)...);
+  }
+
+  /// Tell with explicit cost/size options.
+  template <typename R, typename C, typename... MArgs, typename... Args>
+  void TellWith(const CallOptions& opts, R (C::*method)(MArgs...),
+                Args&&... args) const {
+    static_assert(std::is_base_of_v<C, TActor>,
+                  "method must belong to the referenced actor type");
+    Envelope env;
+    env.target = id_;
+    env.caller_silo = caller_silo_;
+    env.principal = principal_;
+    env.cost_us = opts.cost_us;
+    env.approx_bytes = opts.request_bytes;
+    auto args_tuple =
+        std::make_shared<std::tuple<std::decay_t<MArgs>...>>(
+            std::forward<Args>(args)...);
+    env.fn = [method, args_tuple](ActorBase& base) {
+      TActor& actor = static_cast<TActor&>(base);
+      std::apply([&](auto&... unpacked) { (void)(actor.*method)(unpacked...); },
+                 *args_tuple);
+    };
+    cluster_->Send(std::move(env));
+  }
+
+ private:
+  Cluster* cluster_;
+  ActorId id_;
+  SiloId caller_silo_;
+  Principal principal_;
+};
+
+// Out-of-line definitions of the templated reference factories declared in
+// actor.h / cluster.h (they need the complete ActorRef type).
+
+template <typename T>
+ActorRef<T> ActorContext::Ref(const std::string& key) const {
+  return ActorRef<T>(cluster_, ActorId{T::kTypeName, key}, silo_);
+}
+
+template <typename T>
+ActorRef<T> Cluster::Ref(const std::string& key) {
+  return ActorRef<T>(this, ActorId{T::kTypeName, key}, kClientSiloId);
+}
+
+template <typename T>
+ActorRef<T> ActorContext::RefAs(const std::string& type,
+                                const std::string& key) const {
+  return ActorRef<T>(cluster_, ActorId{type, key}, silo_);
+}
+
+template <typename T>
+ActorRef<T> Cluster::RefAs(const std::string& type, const std::string& key) {
+  return ActorRef<T>(this, ActorId{type, key}, kClientSiloId);
+}
+
+}  // namespace aodb
+
+#endif  // AODB_ACTOR_ACTOR_REF_H_

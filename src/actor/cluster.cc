@@ -1,0 +1,285 @@
+#include "actor/cluster.h"
+
+#include <cassert>
+
+#include "actor/thread_pool.h"
+#include "common/codec.h"
+#include "common/logging.h"
+
+namespace aodb {
+
+Cluster::Cluster(const RuntimeOptions& options,
+                 std::vector<Executor*> silo_executors,
+                 Executor* client_executor, SystemKv* system_kv)
+    : options_(options),
+      silo_executors_(std::move(silo_executors)),
+      client_executor_(client_executor),
+      system_kv_(system_kv),
+      directory_(options.num_silos, options.default_placement,
+                 options.seed ^ 0x5a5a5a5aULL),
+      network_(options.network, options.seed ^ 0xc3c3c3c3ULL) {
+  assert(static_cast<int>(silo_executors_.size()) == options.num_silos);
+  silos_.reserve(options.num_silos);
+  for (int i = 0; i < options.num_silos; ++i) {
+    silos_.push_back(
+        std::make_unique<Silo>(static_cast<SiloId>(i), this,
+                               silo_executors_[i]));
+  }
+}
+
+Cluster::~Cluster() { Stop(); }
+
+void Cluster::RegisterActorType(const std::string& type, Factory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  factories_[type] = std::move(factory);
+}
+
+void Cluster::SetTypePlacement(const std::string& type, Placement placement) {
+  directory_.SetTypePlacement(type, placement);
+}
+
+void Cluster::RegisterStateStorage(const std::string& name,
+                                   std::shared_ptr<StateStorage> storage) {
+  std::lock_guard<std::mutex> lock(mu_);
+  storages_[name] = std::move(storage);
+}
+
+StateStorage* Cluster::GetStateStorage(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = storages_.find(name);
+  return it == storages_.end() ? nullptr : it->second.get();
+}
+
+void Cluster::Send(Envelope env) {
+  SiloId target = directory_.LookupOrPlace(env.target, env.caller_silo);
+  SiloId from = env.caller_silo;
+  Silo* silo = silos_[target].get();
+  if (from == target) {
+    silo->Deliver(std::move(env));
+    return;
+  }
+  env.cost_us += options_.network.serialization_cost_us;
+  Executor* exec = silo_executors_[target];
+  Micros arrival = network_.FifoArrival(from, target, env.approx_bytes,
+                                        exec->clock()->Now());
+  exec->PostAt(arrival, [silo, env = std::move(env)]() mutable {
+    silo->Deliver(std::move(env));
+  });
+}
+
+void Cluster::SendReply(SiloId from, SiloId to, int64_t bytes,
+                        std::function<void()> fn) {
+  if (from == to) {
+    fn();
+    return;
+  }
+  Executor* exec = ExecutorFor(to);
+  Micros arrival = network_.FifoArrival(from, to, bytes, exec->clock()->Now());
+  exec->PostAt(arrival, std::move(fn));
+}
+
+const Cluster::Factory* Cluster::GetFactory(const std::string& type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = factories_.find(type);
+  return it == factories_.end() ? nullptr : &it->second;
+}
+
+// --- Reminders -------------------------------------------------------------
+
+std::string Cluster::ReminderKey(const ActorId& id, const std::string& name) {
+  return "rem/" + id.type + "/" + id.key + "/" + name;
+}
+
+Status Cluster::RegisterReminder(const ActorId& id, const std::string& name,
+                                 Micros period_us) {
+  if (period_us <= 0) return Status::InvalidArgument("period must be > 0");
+  auto alive = std::make_shared<bool>(true);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& entry = reminders_[ReminderKey(id, name)];
+    if (entry.alive) *entry.alive = false;  // Replace existing schedule.
+    entry.alive = alive;
+    entry.period_us = period_us;
+  }
+  if (system_kv_ != nullptr) {
+    BufWriter w;
+    w.PutVarint(static_cast<uint64_t>(period_us));
+    AODB_RETURN_NOT_OK(system_kv_->Put(ReminderKey(id, name), w.Release()));
+  }
+  ScheduleReminder(id, name, period_us, std::move(alive));
+  return Status::OK();
+}
+
+Status Cluster::UnregisterReminder(const ActorId& id,
+                                   const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = reminders_.find(ReminderKey(id, name));
+    if (it == reminders_.end()) return Status::NotFound("no such reminder");
+    if (it->second.alive) *it->second.alive = false;
+    reminders_.erase(it);
+  }
+  if (system_kv_ != nullptr) {
+    AODB_RETURN_NOT_OK(system_kv_->Delete(ReminderKey(id, name)));
+  }
+  return Status::OK();
+}
+
+Status Cluster::LoadReminders() {
+  if (system_kv_ == nullptr) return Status::OK();
+  auto listed = system_kv_->List("rem/");
+  if (!listed.ok()) return listed.status();
+  for (const auto& [key, value] : listed.value()) {
+    // Key layout: rem/<type>/<key>/<name>.
+    size_t p1 = key.find('/', 4);
+    if (p1 == std::string::npos) continue;
+    size_t p2 = key.rfind('/');
+    if (p2 == std::string::npos || p2 <= p1) continue;
+    ActorId id{key.substr(4, p1 - 4), key.substr(p1 + 1, p2 - p1 - 1)};
+    std::string name = key.substr(p2 + 1);
+    BufReader r(value);
+    uint64_t period = 0;
+    if (!r.GetVarint(&period).ok()) continue;
+    auto alive = std::make_shared<bool>(true);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto& entry = reminders_[key];
+      if (entry.alive) *entry.alive = false;
+      entry.alive = alive;
+      entry.period_us = static_cast<Micros>(period);
+    }
+    ScheduleReminder(id, name, static_cast<Micros>(period), std::move(alive));
+  }
+  return Status::OK();
+}
+
+size_t Cluster::ActiveReminders() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reminders_.size();
+}
+
+void Cluster::ScheduleReminder(const ActorId& id, const std::string& name,
+                               Micros period_us,
+                               std::shared_ptr<bool> alive) {
+  // Reminder ticks originate from the runtime (client node executor) and
+  // are delivered as regular messages, re-activating the target if needed.
+  auto fire = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak_fire = fire;
+  Cluster* self = this;
+  Executor* exec = client_executor_;
+  *fire = [self, exec, id, name, period_us, alive, weak_fire]() {
+    if (!*alive) return;
+    Envelope env;
+    env.target = id;
+    env.caller_silo = kClientSiloId;
+    env.cost_us = kDefaultMessageCostUs;
+    env.fn = [name](ActorBase& a) { a.ReceiveReminder(name); };
+    self->Send(std::move(env));
+    if (auto next = weak_fire.lock()) {
+      exec->PostAfter(period_us, [next] { (*next)(); });
+    }
+  };
+  exec->PostAfter(period_us, [fire] { (*fire)(); });
+}
+
+// --- Lifecycle ---------------------------------------------------------------
+
+void Cluster::StartIdleScanner() {
+  if (!options_.lifecycle.enable_idle_deactivation) return;
+  auto alive = std::make_shared<bool>(true);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (scanner_alive_) *scanner_alive_ = false;
+    scanner_alive_ = alive;
+  }
+  for (auto& silo : silos_) {
+    Silo* s = silo.get();
+    Executor* exec = s->executor();
+    Micros interval = options_.lifecycle.scan_interval_us;
+    Micros timeout = options_.lifecycle.idle_timeout_us;
+    auto tick = std::make_shared<std::function<void()>>();
+    std::weak_ptr<std::function<void()>> weak_tick = tick;
+    *tick = [s, exec, interval, timeout, alive, weak_tick]() {
+      if (!*alive) return;
+      s->SweepIdle(timeout);
+      if (auto next = weak_tick.lock()) {
+        exec->PostAfter(interval, [next] { (*next)(); });
+      }
+    };
+    exec->PostAfter(interval, [tick] { (*tick)(); });
+  }
+}
+
+Future<Status> Cluster::DeactivateAll() {
+  std::vector<Future<Status>> futures;
+  futures.reserve(silos_.size());
+  for (auto& silo : silos_) futures.push_back(silo->DeactivateAll());
+  Promise<Status> done;
+  WhenAll(futures).OnReady(
+      [done](Result<std::vector<Result<Status>>>&& r) {
+        if (!r.ok()) {
+          done.SetValue(r.status());
+          return;
+        }
+        for (auto& st : r.value()) {
+          Status s = st.ok() ? st.value() : st.status();
+          if (!s.ok()) {
+            done.SetValue(s);
+            return;
+          }
+        }
+        done.SetValue(Status::OK());
+      });
+  return done.GetFuture();
+}
+
+void Cluster::Stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  if (scanner_alive_) *scanner_alive_ = false;
+  for (auto& [key, entry] : reminders_) {
+    if (entry.alive) *entry.alive = false;
+  }
+}
+
+size_t Cluster::TotalActivations() const {
+  size_t total = 0;
+  for (const auto& silo : silos_) total += silo->ActivationCount();
+  return total;
+}
+
+int64_t Cluster::TotalMessagesProcessed() const {
+  int64_t total = 0;
+  for (const auto& silo : silos_) total += silo->Stats().messages_processed;
+  return total;
+}
+
+// --- RealClusterHandle -------------------------------------------------------
+
+RealClusterHandle::RealClusterHandle(const RuntimeOptions& options,
+                                     SystemKv* system_kv) {
+  std::vector<Executor*> execs;
+  for (int i = 0; i < options.num_silos; ++i) {
+    executors_.push_back(
+        std::make_unique<ThreadPoolExecutor>(options.workers_per_silo));
+    execs.push_back(executors_.back().get());
+  }
+  client_executor_ = std::make_unique<ThreadPoolExecutor>(2);
+  cluster_ = std::make_unique<Cluster>(options, std::move(execs),
+                                       client_executor_.get(), system_kv);
+}
+
+RealClusterHandle::~RealClusterHandle() { Shutdown(); }
+
+void RealClusterHandle::Shutdown() {
+  if (cluster_) cluster_->Stop();
+  for (auto& e : executors_) {
+    static_cast<ThreadPoolExecutor*>(e.get())->Shutdown();
+  }
+  if (client_executor_) {
+    static_cast<ThreadPoolExecutor*>(client_executor_.get())->Shutdown();
+  }
+}
+
+}  // namespace aodb

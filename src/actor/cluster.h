@@ -1,0 +1,184 @@
+// The cluster: a set of silos, the actor directory, the network model,
+// actor type and storage-provider registries, and persistent reminders.
+// This is the top-level runtime object applications interact with.
+
+#ifndef AODB_ACTOR_CLUSTER_H_
+#define AODB_ACTOR_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "actor/actor.h"
+#include "actor/directory.h"
+#include "actor/envelope.h"
+#include "actor/network.h"
+#include "actor/runtime_options.h"
+#include "actor/silo.h"
+#include "actor/system_kv.h"
+
+namespace aodb {
+
+template <typename T>
+class ActorRef;
+class StateStorage;
+
+/// A running actor-oriented database cluster.
+///
+/// Construction wires together externally owned executors (one per silo plus
+/// one client-node executor), so the same Cluster code runs on real thread
+/// pools or on the discrete-event simulator. See MakeRealCluster (below) and
+/// sim::SimHarness for the two canonical wirings.
+class Cluster {
+ public:
+  using Factory = std::function<std::unique_ptr<ActorBase>(const ActorId&)>;
+
+  /// `silo_executors` must have options.num_silos entries. `system_kv` is
+  /// optional; without it reminders are volatile (in-memory only).
+  Cluster(const RuntimeOptions& options, std::vector<Executor*> silo_executors,
+          Executor* client_executor, SystemKv* system_kv = nullptr);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // --- Registration -------------------------------------------------------
+
+  /// Registers actor type T (default-constructible, with
+  /// `static constexpr char kTypeName[]`).
+  template <typename T>
+  void RegisterActorType() {
+    RegisterActorType(T::kTypeName,
+                      [](const ActorId&) { return std::make_unique<T>(); });
+  }
+
+  /// Registers an actor type with an explicit factory.
+  void RegisterActorType(const std::string& type, Factory factory);
+
+  /// Overrides placement for one actor type (e.g. prefer-local for sensor
+  /// channels and aggregators, as in the paper's deployment).
+  void SetTypePlacement(const std::string& type, Placement placement);
+
+  /// Registers a named grain-state storage provider.
+  void RegisterStateStorage(const std::string& name,
+                            std::shared_ptr<StateStorage> storage);
+  /// Returns the provider or nullptr.
+  StateStorage* GetStateStorage(const std::string& name) const;
+
+  // --- Messaging ----------------------------------------------------------
+
+  /// Routes a message to its target's activation, placing/activating as
+  /// needed and charging network delay for remote hops.
+  void Send(Envelope env);
+
+  /// Runs `fn` on the `to` node after the network delay from `from`
+  /// (response path of a call). Zero delay when from == to.
+  void SendReply(SiloId from, SiloId to, int64_t bytes,
+                 std::function<void()> fn);
+
+  /// Typed client-side reference (caller is the external client node).
+  /// Defined in actor/actor_ref.h.
+  template <typename T>
+  ActorRef<T> Ref(const std::string& key);
+
+  /// Client-side reference through a base interface T addressing a concrete
+  /// registered type name. Defined in actor/actor_ref.h.
+  template <typename T>
+  ActorRef<T> RefAs(const std::string& type, const std::string& key);
+
+  // --- Reminders (persistent timers) --------------------------------------
+
+  /// Registers a periodic reminder for an actor; persisted in the system
+  /// store when available. Fires ActorBase::ReceiveReminder(name), (re-)
+  /// activating the target if needed.
+  Status RegisterReminder(const ActorId& id, const std::string& name,
+                          Micros period_us);
+  Status UnregisterReminder(const ActorId& id, const std::string& name);
+  /// Restores reminders from the system store (after a restart).
+  Status LoadReminders();
+  /// Number of live reminder schedules.
+  size_t ActiveReminders() const;
+
+  // --- Lifecycle ----------------------------------------------------------
+
+  /// Starts periodic idle-deactivation sweeps on every silo (no-op unless
+  /// options.lifecycle.enable_idle_deactivation).
+  void StartIdleScanner();
+
+  /// Deactivates all idle actors on all silos, flushing persistent state.
+  Future<Status> DeactivateAll();
+
+  /// Stops reminder and scanner scheduling. Called by the destructor.
+  void Stop();
+
+  // --- Introspection ------------------------------------------------------
+
+  const RuntimeOptions& options() const { return options_; }
+  int num_silos() const { return static_cast<int>(silos_.size()); }
+  Silo* silo(SiloId id) { return silos_[id].get(); }
+  Executor* ExecutorFor(SiloId id) {
+    return id == kClientSiloId ? client_executor_
+                               : silo_executors_[id];
+  }
+  Executor* client_executor() { return client_executor_; }
+  Clock* clock() { return client_executor_->clock(); }
+  Directory& directory() { return directory_; }
+  NetworkModel& network() { return network_; }
+  /// Registered factory for a type, or nullptr.
+  const Factory* GetFactory(const std::string& type) const;
+  size_t TotalActivations() const;
+  int64_t TotalMessagesProcessed() const;
+
+ private:
+  struct ReminderEntry {
+    std::shared_ptr<bool> alive;
+    Micros period_us = 0;
+  };
+
+  void ScheduleReminder(const ActorId& id, const std::string& name,
+                        Micros period_us, std::shared_ptr<bool> alive);
+  static std::string ReminderKey(const ActorId& id, const std::string& name);
+
+  const RuntimeOptions options_;
+  std::vector<Executor*> silo_executors_;
+  Executor* client_executor_;
+  SystemKv* system_kv_;
+
+  Directory directory_;
+  NetworkModel network_;
+  std::vector<std::unique_ptr<Silo>> silos_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Factory> factories_;
+  std::unordered_map<std::string, std::shared_ptr<StateStorage>> storages_;
+  std::unordered_map<std::string, ReminderEntry> reminders_;
+  std::shared_ptr<bool> scanner_alive_;
+  bool stopped_ = false;
+};
+
+/// Convenience owner of a real-mode cluster: thread-pool executors (one per
+/// silo plus a client pool) and the Cluster itself.
+class RealClusterHandle {
+ public:
+  explicit RealClusterHandle(const RuntimeOptions& options,
+                             SystemKv* system_kv = nullptr);
+  ~RealClusterHandle();
+
+  Cluster& cluster() { return *cluster_; }
+  Cluster* operator->() { return cluster_.get(); }
+
+  /// Stops the cluster and joins all threads.
+  void Shutdown();
+
+ private:
+  std::vector<std::unique_ptr<Executor>> executors_;
+  std::unique_ptr<Executor> client_executor_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+}  // namespace aodb
+
+#endif  // AODB_ACTOR_CLUSTER_H_

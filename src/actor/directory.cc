@@ -1,0 +1,61 @@
+#include "actor/directory.h"
+
+namespace aodb {
+
+Directory::Directory(int num_silos, Placement default_placement, uint64_t seed)
+    : num_silos_(num_silos),
+      default_placement_(default_placement),
+      rng_(seed) {}
+
+void Directory::SetTypePlacement(const std::string& type,
+                                 Placement placement) {
+  std::lock_guard<std::mutex> lock(mu_);
+  type_placement_[type] = placement;
+}
+
+SiloId Directory::LookupOrPlace(const ActorId& id, SiloId caller) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it != entries_.end()) return it->second;
+  SiloId silo = Place(id, caller);
+  entries_.emplace(id, silo);
+  return silo;
+}
+
+std::optional<SiloId> Directory::Lookup(const ActorId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Directory::Remove(const ActorId& id, SiloId expected) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end() || it->second != expected) return false;
+  entries_.erase(it);
+  return true;
+}
+
+size_t Directory::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+SiloId Directory::Place(const ActorId& id, SiloId caller) {
+  Placement p = default_placement_;
+  auto it = type_placement_.find(id.type);
+  if (it != type_placement_.end()) p = it->second;
+  switch (p) {
+    case Placement::kPreferLocal:
+      if (caller != kClientSiloId) return caller;
+      [[fallthrough]];
+    case Placement::kRandom:
+      return static_cast<SiloId>(rng_.NextBelow(num_silos_));
+    case Placement::kHash:
+      return static_cast<SiloId>(ActorIdHash()(id) % num_silos_);
+  }
+  return 0;
+}
+
+}  // namespace aodb

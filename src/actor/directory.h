@@ -1,0 +1,56 @@
+// Cluster-wide actor directory: the authoritative mapping from virtual actor
+// identity to the silo hosting its current activation. Placement decisions
+// are made here on first reference.
+
+#ifndef AODB_ACTOR_DIRECTORY_H_
+#define AODB_ACTOR_DIRECTORY_H_
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "actor/actor_id.h"
+#include "actor/runtime_options.h"
+#include "common/rng.h"
+
+namespace aodb {
+
+/// Thread-safe directory with per-type placement policies.
+class Directory {
+ public:
+  Directory(int num_silos, Placement default_placement, uint64_t seed);
+
+  /// Overrides the placement policy for one actor type.
+  void SetTypePlacement(const std::string& type, Placement placement);
+
+  /// Returns the hosting silo for `id`, placing the actor if it has no
+  /// activation yet. `caller` is used by prefer-local placement; external
+  /// callers (kClientSiloId) fall back to random.
+  SiloId LookupOrPlace(const ActorId& id, SiloId caller);
+
+  /// Returns the hosting silo, or nullopt if not activated.
+  std::optional<SiloId> Lookup(const ActorId& id) const;
+
+  /// Removes the entry if it currently maps to `expected` (deactivation).
+  /// Returns true if removed.
+  bool Remove(const ActorId& id, SiloId expected);
+
+  /// Number of registered activations.
+  size_t Count() const;
+
+ private:
+  SiloId Place(const ActorId& id, SiloId caller);
+
+  const int num_silos_;
+  const Placement default_placement_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<ActorId, SiloId, ActorIdHash> entries_;
+  std::unordered_map<std::string, Placement> type_placement_;
+  Rng rng_;
+};
+
+}  // namespace aodb
+
+#endif  // AODB_ACTOR_DIRECTORY_H_

@@ -1,0 +1,41 @@
+// The unit of communication between actors: an immutable, asynchronous
+// message bound for a virtual actor, carrying the closure that applies it
+// to the target activation.
+
+#ifndef AODB_ACTOR_ENVELOPE_H_
+#define AODB_ACTOR_ENVELOPE_H_
+
+#include <functional>
+
+#include "actor/actor_id.h"
+#include "common/clock.h"
+
+namespace aodb {
+
+class ActorBase;
+
+/// Default simulated CPU cost of applying one message, when the caller does
+/// not specify one. Calibration notes live in src/actor/cost_model.h.
+constexpr Micros kDefaultMessageCostUs = 50;
+
+/// A message in flight. `fn` runs on the target activation with exclusive
+/// access to the actor (turn-based concurrency).
+struct Envelope {
+  ActorId target;
+  SiloId caller_silo = kClientSiloId;
+  Principal principal;
+  /// Simulated CPU service time of processing this message.
+  Micros cost_us = kDefaultMessageCostUs;
+  /// Approximate serialized size, charged by the network model for
+  /// cross-silo sends.
+  int64_t approx_bytes = 128;
+  std::function<void(ActorBase&)> fn;
+  /// Invoked instead of `fn` if the message can never be delivered (e.g.
+  /// the target type is unregistered or activation failed). Calls created
+  /// through ActorRef wire this to the caller's promise.
+  std::function<void(const Status&)> fail;
+};
+
+}  // namespace aodb
+
+#endif  // AODB_ACTOR_ENVELOPE_H_

@@ -1,0 +1,209 @@
+// Futures and promises for asynchronous actor calls.
+//
+// Continuations run inline on the thread that fulfills the promise (in
+// simulation mode, at the virtual time of fulfillment). Blocking Get() is
+// for external clients in real (thread-pool) mode only; actor code and
+// simulation-mode code must use OnReady/Then.
+
+#ifndef AODB_ACTOR_FUTURE_H_
+#define AODB_ACTOR_FUTURE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace aodb {
+
+/// Unit type standing in for `void` results of actor methods.
+struct Unit {
+  bool operator==(const Unit&) const { return true; }
+};
+
+namespace internal {
+
+template <typename T>
+struct FutureState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<Result<T>> result;
+  std::vector<std::function<void(Result<T>&&)>> callbacks;
+
+  void Set(Result<T>&& r) {
+    std::vector<std::function<void(Result<T>&&)>> cbs;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (result.has_value()) return;  // First fulfillment wins.
+      result.emplace(std::move(r));
+      cbs.swap(callbacks);
+      cv.notify_all();
+    }
+    for (auto& cb : cbs) {
+      Result<T> copy = *result;
+      cb(std::move(copy));
+    }
+  }
+};
+
+}  // namespace internal
+
+template <typename T>
+class Promise;
+
+/// Read side of an asynchronous result. Copyable; all copies share state.
+template <typename T>
+class Future {
+ public:
+  using ValueType = T;
+
+  Future() : state_(std::make_shared<internal::FutureState<T>>()) {}
+
+  /// A future already fulfilled with `value`.
+  static Future<T> FromValue(T value) {
+    Future<T> f;
+    f.state_->Set(Result<T>(std::move(value)));
+    return f;
+  }
+
+  /// A future already failed with `status` (must be non-OK).
+  static Future<T> FromError(Status status) {
+    Future<T> f;
+    f.state_->Set(Result<T>::FromError(std::move(status)));
+    return f;
+  }
+
+  /// True once a result (value or error) is available.
+  bool Ready() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->result.has_value();
+  }
+
+  /// Registers a continuation; runs inline immediately if already ready.
+  void OnReady(std::function<void(Result<T>&&)> cb) const {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (!state_->result.has_value()) {
+        state_->callbacks.push_back(std::move(cb));
+        return;
+      }
+    }
+    Result<T> copy = *state_->result;
+    cb(std::move(copy));
+  }
+
+  /// Blocks until ready. Real mode, external clients only: must never be
+  /// called from an actor thread (can deadlock the pool) nor in simulation.
+  Result<T> Get() const {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [this] { return state_->result.has_value(); });
+    return *state_->result;
+  }
+
+  /// Blocks up to `timeout_us` microseconds; returns Timeout on expiry.
+  Result<T> GetFor(int64_t timeout_us) const {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    if (!state_->cv.wait_for(lock, std::chrono::microseconds(timeout_us),
+                             [this] { return state_->result.has_value(); })) {
+      return Result<T>::FromError(Status::Timeout("future wait timed out"));
+    }
+    return *state_->result;
+  }
+
+  /// Maps the value through `fn`; errors propagate unchanged.
+  template <typename Fn, typename U = std::invoke_result_t<Fn, T&&>>
+  Future<U> Then(Fn fn) const {
+    Future<U> out;
+    auto st = out.state_;
+    OnReady([st, fn = std::move(fn)](Result<T>&& r) mutable {
+      if (!r.ok()) {
+        st->Set(Result<U>::FromError(r.status()));
+      } else {
+        st->Set(Result<U>(fn(std::move(r).value())));
+      }
+    });
+    return out;
+  }
+
+ private:
+  friend class Promise<T>;
+  template <typename U>
+  friend class Future;  // Then() builds futures of other value types.
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+/// Write side of a Future. Copyable; first Set wins, later Sets are ignored
+/// (used by timeout racing).
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<internal::FutureState<T>>()) {}
+
+  Future<T> GetFuture() const {
+    Future<T> f;
+    f.state_ = state_;
+    return f;
+  }
+
+  void SetValue(T value) const { state_->Set(Result<T>(std::move(value))); }
+  void SetError(Status status) const {
+    state_->Set(Result<T>::FromError(std::move(status)));
+  }
+  void SetResult(Result<T> r) const { state_->Set(std::move(r)); }
+
+ private:
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+/// Completes when all inputs complete, with the vector of all results
+/// (values or errors, index-aligned with the inputs).
+template <typename T>
+Future<std::vector<Result<T>>> WhenAll(const std::vector<Future<T>>& futures) {
+  struct Gather {
+    std::mutex mu;
+    std::vector<std::optional<Result<T>>> slots;
+    size_t pending;
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->slots.resize(futures.size());
+  gather->pending = futures.size();
+  Promise<std::vector<Result<T>>> promise;
+  if (futures.empty()) {
+    promise.SetValue({});
+    return promise.GetFuture();
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    futures[i].OnReady([gather, promise, i](Result<T>&& r) {
+      bool done = false;
+      {
+        std::lock_guard<std::mutex> lock(gather->mu);
+        gather->slots[i].emplace(std::move(r));
+        done = (--gather->pending == 0);
+      }
+      if (done) {
+        std::vector<Result<T>> out;
+        out.reserve(gather->slots.size());
+        for (auto& s : gather->slots) out.push_back(std::move(*s));
+        promise.SetValue(std::move(out));
+      }
+    });
+  }
+  return promise.GetFuture();
+}
+
+/// Detects Future specializations (used by the typed call dispatcher).
+template <typename T>
+struct IsFuture : std::false_type {};
+template <typename U>
+struct IsFuture<Future<U>> : std::true_type {
+  using Inner = U;
+};
+
+}  // namespace aodb
+
+#endif  // AODB_ACTOR_FUTURE_H_

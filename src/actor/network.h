@@ -1,0 +1,73 @@
+// Datacenter network model: computes the one-way delay of a message between
+// nodes (silos or the client). Used in both modes — in real mode the delay
+// is realized by the timer thread, in simulation by virtual-time events.
+
+#ifndef AODB_ACTOR_NETWORK_H_
+#define AODB_ACTOR_NETWORK_H_
+
+#include <mutex>
+#include <unordered_map>
+
+#include "actor/actor_id.h"
+#include "actor/runtime_options.h"
+#include "common/rng.h"
+
+namespace aodb {
+
+/// Thread-safe latency model. Local (same-silo) messages have zero network
+/// delay; remote messages pay base latency + transfer time + jitter.
+/// Delivery is FIFO per (from, to) channel, like messages multiplexed over
+/// one TCP connection: jitter never reorders messages between the same pair
+/// of nodes.
+class NetworkModel {
+ public:
+  NetworkModel(const NetworkOptions& options, uint64_t seed)
+      : options_(options), rng_(seed) {}
+
+  /// Raw one-way delay in microseconds for a message of `bytes` from node
+  /// `from` to node `to` (no FIFO clamping). Either may be kClientSiloId.
+  Micros Delay(SiloId from, SiloId to, int64_t bytes) {
+    if (from == to) return 0;
+    Micros base = (from == kClientSiloId || to == kClientSiloId)
+                      ? options_.client_latency_us
+                      : options_.silo_latency_us;
+    Micros transfer = static_cast<Micros>(
+        static_cast<double>(bytes) / options_.bytes_per_us);
+    Micros jitter = 0;
+    if (options_.jitter_us > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      jitter = static_cast<Micros>(
+          rng_.NextBelow(static_cast<uint64_t>(options_.jitter_us)));
+    }
+    return base + transfer + jitter;
+  }
+
+  /// Absolute arrival time of a message sent at `now`, clamped strictly
+  /// increasing per (from, to) channel so delivery is FIFO regardless of
+  /// jitter. Use with Executor::PostAt.
+  Micros FifoArrival(SiloId from, SiloId to, int64_t bytes, Micros now) {
+    if (from == to) return now;
+    Micros arrival = now + Delay(from, to, bytes);
+    std::lock_guard<std::mutex> lock(fifo_mu_);
+    Micros& last = last_arrival_[Channel(from, to)];
+    if (arrival <= last) arrival = last + 1;
+    last = arrival;
+    return arrival;
+  }
+
+ private:
+  static uint64_t Channel(SiloId from, SiloId to) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+           static_cast<uint32_t>(to);
+  }
+
+  const NetworkOptions options_;
+  std::mutex mu_;
+  Rng rng_;
+  std::mutex fifo_mu_;
+  std::unordered_map<uint64_t, Micros> last_arrival_;
+};
+
+}  // namespace aodb
+
+#endif  // AODB_ACTOR_NETWORK_H_

@@ -1,0 +1,18 @@
+// Umbrella header for the virtual-actor runtime. Applications normally
+// include only this.
+
+#ifndef AODB_ACTOR_RUNTIME_H_
+#define AODB_ACTOR_RUNTIME_H_
+
+#include "actor/actor.h"       // IWYU pragma: export
+#include "actor/actor_id.h"    // IWYU pragma: export
+#include "actor/actor_ref.h"   // IWYU pragma: export
+#include "actor/cluster.h"     // IWYU pragma: export
+#include "actor/envelope.h"    // IWYU pragma: export
+#include "actor/executor.h"    // IWYU pragma: export
+#include "actor/future.h"      // IWYU pragma: export
+#include "actor/runtime_options.h"  // IWYU pragma: export
+#include "actor/silo.h"        // IWYU pragma: export
+#include "actor/thread_pool.h" // IWYU pragma: export
+
+#endif  // AODB_ACTOR_RUNTIME_H_

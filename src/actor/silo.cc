@@ -1,0 +1,279 @@
+#include "actor/silo.h"
+
+#include <cassert>
+
+#include "actor/cluster.h"
+#include "common/logging.h"
+
+namespace aodb {
+
+namespace {
+/// Simulated CPU cost of constructing an activation / running lifecycle
+/// hooks (state I/O is charged separately by the storage provider).
+constexpr Micros kLifecycleCostUs = 50;
+/// Back-off before re-routing a message that raced with a deactivation.
+constexpr Micros kRerouteDelayUs = 50;
+}  // namespace
+
+Silo::Silo(SiloId id, Cluster* cluster, Executor* executor)
+    : id_(id), cluster_(cluster), executor_(executor) {}
+
+void Silo::Deliver(Envelope env) {
+  ActivationPtr act;
+  bool is_new = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = catalog_.find(env.target);
+    if (it == catalog_.end()) {
+      act = std::make_shared<Activation>(env.target);
+      catalog_.emplace(env.target, act);
+      ++stats_.activations_created;
+      is_new = true;
+    } else {
+      act = it->second;
+    }
+  }
+  bool schedule = false;
+  bool reroute = false;
+  Micros cost = 0;
+  {
+    std::lock_guard<std::mutex> lock(act->mu);
+    switch (act->state) {
+      case ActState::kClosed:
+        reroute = true;
+        break;
+      case ActState::kDeactivating:
+        // Queued; re-routed when the deactivation completes.
+        act->mailbox.push_back(std::move(env));
+        break;
+      case ActState::kLoading:
+      case ActState::kScheduled:
+      case ActState::kRunning:
+        act->mailbox.push_back(std::move(env));
+        break;
+      case ActState::kIdle:
+        assert(act->mailbox.empty());
+        cost = env.cost_us;
+        act->mailbox.push_back(std::move(env));
+        act->state = ActState::kScheduled;
+        schedule = true;
+        break;
+    }
+  }
+  if (reroute) {
+    Reroute(std::move(env));
+    return;
+  }
+  if (is_new) BeginActivate(act);
+  if (schedule) PostTurn(act, cost);
+}
+
+void Silo::BeginActivate(const ActivationPtr& act) {
+  executor_->Post(Task{
+      [this, act] {
+        const Cluster::Factory* factory = cluster_->GetFactory(act->id.type);
+        auto fail_all = [this, act](const Status& st) {
+          std::deque<Envelope> pending;
+          {
+            std::lock_guard<std::mutex> lock(act->mu);
+            act->state = ActState::kClosed;
+            pending.swap(act->mailbox);
+          }
+          cluster_->directory().Remove(act->id, id_);
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            catalog_.erase(act->id);
+            ++stats_.activations_removed;
+          }
+          for (auto& e : pending) {
+            if (e.fail) e.fail(st);
+          }
+        };
+        if (factory == nullptr) {
+          AODB_LOG(Error, "no factory for actor type %s",
+                   act->id.type.c_str());
+          fail_all(Status::InvalidArgument("unregistered actor type: " +
+                                           act->id.type));
+          return;
+        }
+        std::unique_ptr<ActorBase> actor = (*factory)(act->id);
+        actor->BindContext(std::make_unique<ActorContext>(
+            act->id, id_, cluster_, executor_));
+        {
+          std::lock_guard<std::mutex> lock(act->mu);
+          act->actor = std::move(actor);
+        }
+        act->actor->OnActivate().OnReady(
+            [this, act, fail_all](Result<Status>&& r) {
+              Status st = r.ok() ? r.value() : r.status();
+              if (!st.ok()) {
+                AODB_LOG(Warn, "activation of %s failed: %s",
+                         act->id.ToString().c_str(), st.ToString().c_str());
+                fail_all(st);
+                return;
+              }
+              bool schedule = false;
+              Micros cost = 0;
+              {
+                std::lock_guard<std::mutex> lock(act->mu);
+                act->last_active = executor_->clock()->Now();
+                if (!act->mailbox.empty()) {
+                  act->state = ActState::kScheduled;
+                  cost = act->mailbox.front().cost_us;
+                  schedule = true;
+                } else {
+                  act->state = ActState::kIdle;
+                }
+              }
+              if (schedule) PostTurn(act, cost);
+            });
+      },
+      kLifecycleCostUs});
+}
+
+void Silo::PostTurn(const ActivationPtr& act, Micros cost_us) {
+  executor_->Post(Task{[this, act] { RunTurn(act); }, cost_us});
+}
+
+void Silo::RunTurn(const ActivationPtr& act) {
+  Envelope env;
+  {
+    std::lock_guard<std::mutex> lock(act->mu);
+    if (act->state != ActState::kScheduled || act->mailbox.empty()) return;
+    env = std::move(act->mailbox.front());
+    act->mailbox.pop_front();
+    act->state = ActState::kRunning;
+  }
+  act->actor->ctx().caller_ = env.principal;
+  if (env.fn) env.fn(*act->actor);
+  bool schedule = false;
+  Micros cost = 0;
+  {
+    std::lock_guard<std::mutex> lock(act->mu);
+    act->last_active = executor_->clock()->Now();
+    if (!act->mailbox.empty()) {
+      act->state = ActState::kScheduled;
+      cost = act->mailbox.front().cost_us;
+      schedule = true;
+    } else {
+      act->state = ActState::kIdle;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.messages_processed;
+  }
+  if (schedule) PostTurn(act, cost);
+}
+
+int Silo::SweepIdle(Micros idle_timeout_us) {
+  std::vector<ActivationPtr> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    all.reserve(catalog_.size());
+    for (auto& [id, act] : catalog_) all.push_back(act);
+  }
+  Micros now = executor_->clock()->Now();
+  int initiated = 0;
+  for (auto& act : all) {
+    bool victim = false;
+    {
+      std::lock_guard<std::mutex> lock(act->mu);
+      if (act->state == ActState::kIdle && act->mailbox.empty() &&
+          now - act->last_active >= idle_timeout_us) {
+        act->state = ActState::kDeactivating;
+        victim = true;
+      }
+    }
+    if (victim) {
+      FinishDeactivation(act, nullptr);
+      ++initiated;
+    }
+  }
+  return initiated;
+}
+
+Future<Status> Silo::DeactivateAll() {
+  std::vector<ActivationPtr> victims;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    victims.reserve(catalog_.size());
+    for (auto& [id, act] : catalog_) victims.push_back(act);
+  }
+  std::vector<ActivationPtr> initiated;
+  for (auto& act : victims) {
+    std::lock_guard<std::mutex> lock(act->mu);
+    if (act->state == ActState::kIdle && act->mailbox.empty()) {
+      act->state = ActState::kDeactivating;
+      initiated.push_back(act);
+    }
+  }
+  if (initiated.empty()) return Future<Status>::FromValue(Status::OK());
+  struct Gate {
+    std::mutex mu;
+    size_t pending;
+    Status first_error;
+  };
+  auto gate = std::make_shared<Gate>();
+  gate->pending = initiated.size();
+  Promise<Status> done;
+  for (auto& act : initiated) {
+    FinishDeactivation(act, [gate, done](Status st) {
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> lock(gate->mu);
+        if (!st.ok() && gate->first_error.ok()) gate->first_error = st;
+        last = (--gate->pending == 0);
+      }
+      if (last) done.SetValue(gate->first_error);
+    });
+  }
+  return done.GetFuture();
+}
+
+void Silo::FinishDeactivation(const ActivationPtr& act,
+                              std::function<void(Status)> done) {
+  executor_->Post(Task{
+      [this, act, done = std::move(done)] {
+        act->actor->ctx().CancelAllTimers();
+        act->actor->OnDeactivate().OnReady(
+            [this, act, done](Result<Status>&& r) {
+              Status st = r.ok() ? r.value() : r.status();
+              std::deque<Envelope> pending;
+              {
+                std::lock_guard<std::mutex> lock(act->mu);
+                act->state = ActState::kClosed;
+                pending.swap(act->mailbox);
+              }
+              cluster_->directory().Remove(act->id, id_);
+              {
+                std::lock_guard<std::mutex> lock(mu_);
+                catalog_.erase(act->id);
+                ++stats_.activations_removed;
+              }
+              for (auto& e : pending) cluster_->Send(std::move(e));
+              if (done) done(st);
+            });
+      },
+      kLifecycleCostUs});
+}
+
+void Silo::Reroute(Envelope env) {
+  Cluster* cluster = cluster_;
+  executor_->PostAfter(kRerouteDelayUs,
+                       [cluster, env = std::move(env)]() mutable {
+                         cluster->Send(std::move(env));
+                       });
+}
+
+size_t Silo::ActivationCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return catalog_.size();
+}
+
+SiloStats Silo::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace aodb

@@ -1,0 +1,100 @@
+// A silo hosts activations of virtual actors: it owns the activation catalog
+// for its node, drives turn-based message processing on its executor, and
+// performs idle deactivation. One silo models one server (the paper deploys
+// one Orleans silo per EC2 instance).
+
+#ifndef AODB_ACTOR_SILO_H_
+#define AODB_ACTOR_SILO_H_
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "actor/actor.h"
+#include "actor/envelope.h"
+#include "actor/executor.h"
+
+namespace aodb {
+
+class Cluster;
+
+/// Counters exposed for tests and benchmark reporting.
+struct SiloStats {
+  int64_t messages_processed = 0;
+  int64_t activations_created = 0;
+  int64_t activations_removed = 0;
+};
+
+/// Hosts and executes actor activations on one executor.
+///
+/// Thread-safe: Deliver may be called from any thread; actor turns are
+/// serialized per activation (at most one in flight), so actor code itself
+/// never needs locks.
+class Silo {
+ public:
+  Silo(SiloId id, Cluster* cluster, Executor* executor);
+
+  SiloId id() const { return id_; }
+  Executor* executor() const { return executor_; }
+
+  /// Enqueues a message for its target activation, creating (activating)
+  /// the actor if needed. Re-routes through the cluster if the activation
+  /// is closing.
+  void Deliver(Envelope env);
+
+  /// Deactivates activations idle for at least `idle_timeout_us`.
+  /// Returns the number of deactivations initiated.
+  int SweepIdle(Micros idle_timeout_us);
+
+  /// Initiates deactivation of every idle activation (used at shutdown to
+  /// flush persistent state). Completes when all initiated deactivations
+  /// have finished. Activations with queued work are skipped.
+  Future<Status> DeactivateAll();
+
+  size_t ActivationCount() const;
+  SiloStats Stats() const;
+
+ private:
+  enum class ActState {
+    kLoading,       // OnActivate in progress; messages queue up.
+    kIdle,          // No message in flight.
+    kScheduled,     // A turn has been posted to the executor.
+    kRunning,       // A turn is executing.
+    kDeactivating,  // OnDeactivate in progress; messages queue for re-route.
+    kClosed,        // Removed; queued messages get re-routed.
+  };
+
+  struct Activation {
+    explicit Activation(ActorId id_in) : id(std::move(id_in)) {}
+    const ActorId id;
+    std::mutex mu;
+    std::unique_ptr<ActorBase> actor;
+    std::deque<Envelope> mailbox;
+    ActState state = ActState::kLoading;
+    Micros last_active = 0;
+  };
+  using ActivationPtr = std::shared_ptr<Activation>;
+
+  void BeginActivate(const ActivationPtr& act);
+  void PostTurn(const ActivationPtr& act, Micros cost_us);
+  void RunTurn(const ActivationPtr& act);
+  /// Runs OnDeactivate and removes the activation. Precondition: state was
+  /// transitioned to kDeactivating by the caller.
+  void FinishDeactivation(const ActivationPtr& act,
+                          std::function<void(Status)> done);
+  void Reroute(Envelope env);
+
+  const SiloId id_;
+  Cluster* const cluster_;
+  Executor* const executor_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<ActorId, ActivationPtr, ActorIdHash> catalog_;
+  SiloStats stats_;
+};
+
+}  // namespace aodb
+
+#endif  // AODB_ACTOR_SILO_H_

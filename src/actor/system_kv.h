@@ -1,0 +1,30 @@
+// Synchronous key-value interface for cluster *system* state (membership,
+// reminders) — the role Amazon RDS plays for Orleans in the paper's setup.
+// Implementations live in src/storage/.
+
+#ifndef AODB_ACTOR_SYSTEM_KV_H_
+#define AODB_ACTOR_SYSTEM_KV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace aodb {
+
+/// Minimal synchronous KV used by the runtime itself (not by actor state,
+/// which goes through the asynchronous StateStorage providers).
+class SystemKv {
+ public:
+  virtual ~SystemKv() = default;
+  virtual Status Put(const std::string& key, const std::string& value) = 0;
+  virtual Result<std::string> Get(const std::string& key) = 0;
+  virtual Status Delete(const std::string& key) = 0;
+  /// All (key, value) pairs whose key starts with `prefix`, in key order.
+  virtual Result<std::vector<std::pair<std::string, std::string>>> List(
+      const std::string& prefix) = 0;
+};
+
+}  // namespace aodb
+
+#endif  // AODB_ACTOR_SYSTEM_KV_H_

@@ -1,0 +1,107 @@
+#include "actor/thread_pool.h"
+
+namespace aodb {
+
+ThreadPoolExecutor::ThreadPoolExecutor(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+  timer_thread_ = std::thread([this] { TimerLoop(); });
+}
+
+ThreadPoolExecutor::~ThreadPoolExecutor() { Shutdown(); }
+
+void ThreadPoolExecutor::Post(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPoolExecutor::PostAfter(Micros delay_us, std::function<void()> fn) {
+  PostAt(clock()->Now() + (delay_us < 0 ? 0 : delay_us), std::move(fn));
+}
+
+void ThreadPoolExecutor::PostAt(Micros due, std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    if (shutdown_) return;
+    timer_queue_.push(Timed{due, timer_seq_++, std::move(fn)});
+  }
+  timer_cv_.notify_one();
+}
+
+ExecutorStats ThreadPoolExecutor::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void ThreadPoolExecutor::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock1(mu_);
+    std::lock_guard<std::mutex> lock2(timer_mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  timer_cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  if (timer_thread_.joinable()) timer_thread_.join();
+}
+
+void ThreadPoolExecutor::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Micros start = clock()->Now();
+    task.fn();
+    Micros elapsed = clock()->Now() - start;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.tasks_run;
+      stats_.busy_us += elapsed;
+    }
+  }
+}
+
+void ThreadPoolExecutor::TimerLoop() {
+  std::unique_lock<std::mutex> lock(timer_mu_);
+  for (;;) {
+    if (shutdown_) return;
+    if (timer_queue_.empty()) {
+      timer_cv_.wait(lock);
+      continue;
+    }
+    Micros now = clock()->Now();
+    const Timed& next = timer_queue_.top();
+    if (next.due <= now) {
+      std::function<void()> fn = next.fn;
+      timer_queue_.pop();
+      lock.unlock();
+      // Delayed callbacks (network delivery, storage completions, timers)
+      // run on the timer thread itself; they are expected to be cheap
+      // enqueue operations.
+      fn();
+      lock.lock();
+      continue;
+    }
+    timer_cv_.wait_for(lock, std::chrono::microseconds(next.due - now));
+  }
+}
+
+}  // namespace aodb

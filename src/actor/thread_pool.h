@@ -1,0 +1,74 @@
+// Real-mode executor: a fixed pool of worker threads with a shared FIFO
+// task queue and a dedicated timer thread for delayed callbacks.
+
+#ifndef AODB_ACTOR_THREAD_POOL_H_
+#define AODB_ACTOR_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "actor/executor.h"
+
+namespace aodb {
+
+/// Thread-pool executor over the wall clock. One instance per silo in real
+/// mode (its thread count models the silo's vCPUs).
+class ThreadPoolExecutor final : public Executor {
+ public:
+  /// Starts `num_threads` workers plus one timer thread.
+  explicit ThreadPoolExecutor(int num_threads);
+  ~ThreadPoolExecutor() override;
+
+  ThreadPoolExecutor(const ThreadPoolExecutor&) = delete;
+  ThreadPoolExecutor& operator=(const ThreadPoolExecutor&) = delete;
+
+  void Post(Task task) override;
+  void PostAfter(Micros delay_us, std::function<void()> fn) override;
+  void PostAt(Micros due, std::function<void()> fn) override;
+  Clock* clock() override { return RealClock::Instance(); }
+  int workers() const override { return static_cast<int>(threads_.size()); }
+  ExecutorStats Stats() const override;
+
+  /// Stops accepting work and joins all threads. Pending immediate tasks are
+  /// drained; pending delayed tasks are dropped. Idempotent.
+  void Shutdown();
+
+ private:
+  struct Timed {
+    Micros due;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Timed& other) const {
+      return due != other.due ? due > other.due : seq > other.seq;
+    }
+  };
+
+  void WorkerLoop();
+  void TimerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool shutdown_ = false;
+
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  std::priority_queue<Timed, std::vector<Timed>, std::greater<Timed>>
+      timer_queue_;
+  uint64_t timer_seq_ = 0;
+
+  std::vector<std::thread> threads_;
+  std::thread timer_thread_;
+
+  mutable std::mutex stats_mu_;
+  ExecutorStats stats_;
+};
+
+}  // namespace aodb
+
+#endif  // AODB_ACTOR_THREAD_POOL_H_

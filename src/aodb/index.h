@@ -1,0 +1,107 @@
+// Secondary indexes over actor state, maintained as partitioned index
+// actors (the indexing design proposed for AODBs, which the paper cites as
+// a core database feature an actor runtime must gain). An index maps an
+// attribute value (e.g. farmer id, organization id) to the set of actor
+// keys whose state carries that value; application actors update the index
+// when the attribute changes.
+
+#ifndef AODB_AODB_INDEX_H_
+#define AODB_AODB_INDEX_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "actor/actor_ref.h"
+#include "actor/runtime.h"
+
+namespace aodb {
+
+/// Number of partitions per index.
+constexpr int kIndexPartitions = 8;
+
+/// One partition of a hash index: value -> set of actor keys.
+class IndexActor : public ActorBase {
+ public:
+  static constexpr char kTypeName[] = "aodb.Index";
+
+  void Insert(std::string value, std::string actor_key) {
+    entries_[std::move(value)].insert(std::move(actor_key));
+  }
+  void Erase(std::string value, std::string actor_key) {
+    auto it = entries_.find(value);
+    if (it == entries_.end()) return;
+    it->second.erase(actor_key);
+    if (it->second.empty()) entries_.erase(it);
+  }
+  std::vector<std::string> Lookup(std::string value) {
+    auto it = entries_.find(value);
+    if (it == entries_.end()) return {};
+    return std::vector<std::string>(it->second.begin(), it->second.end());
+  }
+  int64_t DistinctValues() { return static_cast<int64_t>(entries_.size()); }
+
+ private:
+  std::map<std::string, std::set<std::string>> entries_;
+};
+
+/// Handle to a named, partitioned index. Copyable.
+///
+/// Updates are asynchronous messages to index actors, exactly as the AODB
+/// indexing proposal maintains indexes via actor messaging; they are
+/// eventually consistent with the indexed actor's state unless enclosed in
+/// a transaction (see aodb/txn.h).
+class ActorIndex {
+ public:
+  explicit ActorIndex(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Index-actor key of the partition owning `value`.
+  std::string PartitionKey(const std::string& value) const {
+    size_t h = ActorIdHash()(ActorId{name_, value});
+    return name_ + "#" + std::to_string(h % kIndexPartitions);
+  }
+
+  /// Adds (value -> actor_key). `sender` is an ActorContext or Cluster.
+  template <typename Sender>
+  void Insert(Sender&& sender, const std::string& value,
+              const std::string& actor_key) const {
+    sender.template Ref<IndexActor>(PartitionKey(value))
+        .Tell(&IndexActor::Insert, value, actor_key);
+  }
+
+  /// Removes (value -> actor_key).
+  template <typename Sender>
+  void Erase(Sender&& sender, const std::string& value,
+             const std::string& actor_key) const {
+    sender.template Ref<IndexActor>(PartitionKey(value))
+        .Tell(&IndexActor::Erase, value, actor_key);
+  }
+
+  /// Re-indexes a changed attribute (old value -> new value).
+  template <typename Sender>
+  void Update(Sender&& sender, const std::string& old_value,
+              const std::string& new_value,
+              const std::string& actor_key) const {
+    if (old_value == new_value) return;
+    if (!old_value.empty()) Erase(sender, old_value, actor_key);
+    if (!new_value.empty()) Insert(sender, new_value, actor_key);
+  }
+
+  /// Looks up all actor keys with the given attribute value.
+  template <typename Sender>
+  Future<std::vector<std::string>> Lookup(Sender&& sender,
+                                          const std::string& value) const {
+    return sender.template Ref<IndexActor>(PartitionKey(value))
+        .Call(&IndexActor::Lookup, value);
+  }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace aodb
+
+#endif  // AODB_AODB_INDEX_H_

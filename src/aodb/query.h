@@ -1,0 +1,119 @@
+// Multi-actor query helpers: type-wide scans (via the type registry) and
+// indexed lookups followed by per-actor projection. The paper notes that
+// declarative multi-actor querying is the least mature AODB feature and
+// that developers decompose queries by hand; these helpers are that
+// decomposition, packaged.
+
+#ifndef AODB_AODB_QUERY_H_
+#define AODB_AODB_QUERY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "aodb/index.h"
+#include "aodb/registry.h"
+
+namespace aodb {
+
+/// Calls projection method `m` on every registered actor of type TActor and
+/// returns the collected values (order unspecified). Delivery failures fail
+/// the whole query.
+template <typename TActor, typename R, typename C, typename... MArgs,
+          typename... Args>
+Future<std::vector<typename internal::CallResult<R>::type>> QueryAll(
+    Cluster& cluster, R (C::*m)(MArgs...), Args... args) {
+  using RT = typename internal::CallResult<R>::type;
+  Promise<std::vector<RT>> out;
+  TypeRegistry::ListAll(cluster, TActor::kTypeName)
+      .OnReady([&cluster, m, out,
+                args...](Result<std::vector<std::string>>&& keys) mutable {
+        if (!keys.ok()) {
+          out.SetError(keys.status());
+          return;
+        }
+        std::vector<Future<RT>> calls;
+        calls.reserve(keys.value().size());
+        for (const std::string& key : keys.value()) {
+          calls.push_back(cluster.Ref<TActor>(key).Call(m, args...));
+        }
+        WhenAll(calls).OnReady([out](Result<std::vector<Result<RT>>>&& rs) {
+          if (!rs.ok()) {
+            out.SetError(rs.status());
+            return;
+          }
+          std::vector<RT> values;
+          values.reserve(rs.value().size());
+          for (auto& r : rs.value()) {
+            if (!r.ok()) {
+              out.SetError(r.status());
+              return;
+            }
+            values.push_back(std::move(r).value());
+          }
+          out.SetValue(std::move(values));
+        });
+      });
+  return out.GetFuture();
+}
+
+/// QueryAll with a client-side predicate applied to each projected value.
+template <typename TActor, typename R, typename C, typename... MArgs>
+Future<std::vector<typename internal::CallResult<R>::type>> QueryWhere(
+    Cluster& cluster, R (C::*m)(MArgs...),
+    std::function<bool(const typename internal::CallResult<R>::type&)>
+        predicate) {
+  using RT = typename internal::CallResult<R>::type;
+  return QueryAll<TActor>(cluster, m)
+      .Then([predicate = std::move(predicate)](std::vector<RT>&& values) {
+        std::vector<RT> kept;
+        for (auto& v : values) {
+          if (predicate(v)) kept.push_back(std::move(v));
+        }
+        return kept;
+      });
+}
+
+/// Indexed query: looks up actor keys by attribute value in `index`, then
+/// calls projection `m` on each hit.
+template <typename TActor, typename R, typename C, typename... MArgs,
+          typename... Args>
+Future<std::vector<typename internal::CallResult<R>::type>> QueryByIndex(
+    Cluster& cluster, const ActorIndex& index, const std::string& value,
+    R (C::*m)(MArgs...), Args... args) {
+  using RT = typename internal::CallResult<R>::type;
+  Promise<std::vector<RT>> out;
+  index.Lookup(cluster, value)
+      .OnReady([&cluster, m, out,
+                args...](Result<std::vector<std::string>>&& keys) mutable {
+        if (!keys.ok()) {
+          out.SetError(keys.status());
+          return;
+        }
+        std::vector<Future<RT>> calls;
+        calls.reserve(keys.value().size());
+        for (const std::string& key : keys.value()) {
+          calls.push_back(cluster.Ref<TActor>(key).Call(m, args...));
+        }
+        WhenAll(calls).OnReady([out](Result<std::vector<Result<RT>>>&& rs) {
+          if (!rs.ok()) {
+            out.SetError(rs.status());
+            return;
+          }
+          std::vector<RT> values;
+          for (auto& r : rs.value()) {
+            if (!r.ok()) {
+              out.SetError(r.status());
+              return;
+            }
+            values.push_back(std::move(r).value());
+          }
+          out.SetValue(std::move(values));
+        });
+      });
+  return out.GetFuture();
+}
+
+}  // namespace aodb
+
+#endif  // AODB_AODB_QUERY_H_

@@ -1,0 +1,140 @@
+#include "aodb/txn.h"
+
+#include <algorithm>
+
+namespace aodb {
+
+Status TransactionalActor::TxnPrepare(std::string txn_id, std::string op,
+                                      std::string arg) {
+  Micros now = ctx().Now();
+  if (!lock_txn_.empty() && lock_txn_ != txn_id) {
+    if (now - lock_since_ < kLockTimeoutUs) {
+      return Status::Aborted("lock held by " + lock_txn_);
+    }
+    // Stale lock from a failed coordinator: break it.
+    for (const StagedOp& s : staged_) UnstageOp(s.op, s.arg);
+    staged_.clear();
+    lock_txn_.clear();
+  }
+  Status st = ValidateOp(op, arg);
+  if (!st.ok()) return st;
+  if (lock_txn_.empty()) {
+    lock_txn_ = txn_id;
+    lock_since_ = now;
+  }
+  staged_.push_back(StagedOp{std::move(op), std::move(arg)});
+  return Status::OK();
+}
+
+void TransactionalActor::TxnCommit(std::string txn_id) {
+  if (lock_txn_ != txn_id) return;  // Already broken or never prepared.
+  for (const StagedOp& s : staged_) ApplyOp(s.op, s.arg);
+  staged_.clear();
+  lock_txn_.clear();
+}
+
+void TransactionalActor::TxnAbort(std::string txn_id) {
+  if (lock_txn_ != txn_id) return;
+  for (const StagedOp& s : staged_) UnstageOp(s.op, s.arg);
+  staged_.clear();
+  lock_txn_.clear();
+}
+
+Status TransactionalActor::ExecuteOp(std::string op, std::string arg) {
+  if (!lock_txn_.empty()) {
+    if (ctx().Now() - lock_since_ < kLockTimeoutUs) {
+      return Status::Aborted("actor locked by transaction " + lock_txn_);
+    }
+    // Stale lock: break it, releasing any reservations.
+    for (const StagedOp& s : staged_) UnstageOp(s.op, s.arg);
+    staged_.clear();
+    lock_txn_.clear();
+  }
+  Status st = ValidateOp(op, arg);
+  if (!st.ok()) return st;
+  ApplyOp(op, arg);
+  return Status::OK();
+}
+
+bool TransactionalActor::TxnLocked() { return !lock_txn_.empty(); }
+
+std::string TxnManager::NextTxnId() {
+  return "txn-" + std::to_string(seq_.fetch_add(1) + 1);
+}
+
+Future<Status> TxnManager::RunOnce(std::vector<TxnOp> ops) {
+  if (ops.empty()) return Future<Status>::FromValue(Status::OK());
+  attempts_.fetch_add(1);
+  std::string txn_id = NextTxnId();
+  std::vector<Future<Status>> prepares;
+  prepares.reserve(ops.size());
+  for (const TxnOp& op : ops) {
+    prepares.push_back(
+        cluster_->RefAs<TransactionalActor>(op.actor_type, op.actor_key)
+            .Call(&TransactionalActor::TxnPrepare, txn_id, op.op, op.arg));
+  }
+  Promise<Status> done;
+  Cluster* cluster = cluster_;
+  auto* aborts = &aborts_;
+  WhenAll(prepares).OnReady([cluster, ops = std::move(ops), txn_id, done,
+                             aborts](
+                                Result<std::vector<Result<Status>>>&& r) {
+    Status outcome = Status::OK();
+    if (!r.ok()) {
+      outcome = r.status();
+    } else {
+      for (const auto& p : r.value()) {
+        Status st = p.ok() ? p.value() : p.status();
+        if (!st.ok()) {
+          outcome = st;
+          break;
+        }
+      }
+    }
+    // Phase 2: commit everywhere on success, abort everywhere otherwise.
+    // Abort is also sent to participants whose prepare failed; they ignore
+    // it (lock not held by this txn), which keeps the protocol simple.
+    for (const TxnOp& op : ops) {
+      auto ref =
+          cluster->RefAs<TransactionalActor>(op.actor_type, op.actor_key);
+      if (outcome.ok()) {
+        ref.Tell(&TransactionalActor::TxnCommit, txn_id);
+      } else {
+        ref.Tell(&TransactionalActor::TxnAbort, txn_id);
+      }
+    }
+    if (!outcome.ok()) aborts->fetch_add(1);
+    done.SetValue(outcome);
+  });
+  return done.GetFuture();
+}
+
+Future<Status> TxnManager::Run(std::vector<TxnOp> ops) {
+  Promise<Status> done;
+  RunWithRetry(std::move(ops), options_.max_retries,
+               options_.initial_backoff_us, done);
+  return done.GetFuture();
+}
+
+void TxnManager::RunWithRetry(std::vector<TxnOp> ops, int retries_left,
+                              Micros backoff_us, Promise<Status> done) {
+  std::vector<TxnOp> ops_copy = ops;
+  RunOnce(std::move(ops_copy))
+      .OnReady([this, ops = std::move(ops), retries_left, backoff_us,
+                done](Result<Status>&& r) mutable {
+        Status st = r.ok() ? r.value() : r.status();
+        if (st.ok() || !st.IsAborted() || retries_left <= 0) {
+          done.SetValue(st);
+          return;
+        }
+        constexpr Micros kMaxBackoffUs = kMicrosPerSecond;
+        Micros next_backoff = std::min(backoff_us * 2, kMaxBackoffUs);
+        cluster_->client_executor()->PostAfter(
+            backoff_us,
+            [this, ops = std::move(ops), retries_left, next_backoff, done] {
+              RunWithRetry(ops, retries_left - 1, next_backoff, done);
+            });
+      });
+}
+
+}  // namespace aodb

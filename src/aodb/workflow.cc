@@ -1,0 +1,74 @@
+#include "aodb/workflow.h"
+
+#include <algorithm>
+
+namespace aodb {
+
+namespace {
+
+bool IsTransient(const Status& st) {
+  return st.IsUnavailable() || st.IsTimeout() || st.IsAborted();
+}
+
+}  // namespace
+
+Future<Status> WorkflowEngine::Run(std::vector<WorkflowStep> steps) {
+  auto state = std::make_shared<RunState>();
+  state->steps = std::move(steps);
+  if (state->steps.empty()) {
+    return Future<Status>::FromValue(Status::OK());
+  }
+  Future<Status> out = state->done.GetFuture();
+  RunStep(state, options_.max_retries_per_step, options_.initial_backoff_us);
+  return out;
+}
+
+void WorkflowEngine::RunStep(std::shared_ptr<RunState> state,
+                             int retries_left, Micros backoff_us) {
+  if (state->next >= state->steps.size()) {
+    state->done.SetValue(Status::OK());
+    return;
+  }
+  const WorkflowStep& step = state->steps[state->next];
+  cluster_->RefAs<TransactionalActor>(step.actor_type, step.actor_key)
+      .Call(&TransactionalActor::ExecuteOp, step.op, step.arg)
+      .OnReady([this, state, retries_left,
+                backoff_us](Result<Status>&& r) mutable {
+        Status st = r.ok() ? r.value() : r.status();
+        if (st.ok()) {
+          steps_executed_.fetch_add(1);
+          ++state->next;
+          RunStep(std::move(state), options_.max_retries_per_step,
+                  options_.initial_backoff_us);
+          return;
+        }
+        if (IsTransient(st) && retries_left > 0) {
+          retries_.fetch_add(1);
+          constexpr Micros kMaxBackoffUs = kMicrosPerSecond;
+          Micros next_backoff = std::min(backoff_us * 2, kMaxBackoffUs);
+          cluster_->client_executor()->PostAfter(
+              backoff_us, [this, state = std::move(state), retries_left,
+                           next_backoff]() mutable {
+                RunStep(std::move(state), retries_left - 1, next_backoff);
+              });
+          return;
+        }
+        // Permanent failure: compensate what already ran, then report.
+        Compensate(state, state->next);
+        state->done.SetValue(st);
+      });
+}
+
+void WorkflowEngine::Compensate(const std::shared_ptr<RunState>& state,
+                                size_t completed) {
+  for (size_t i = completed; i-- > 0;) {
+    const WorkflowStep& step = state->steps[i];
+    if (step.compensate_op.empty()) continue;
+    compensations_.fetch_add(1);
+    cluster_->RefAs<TransactionalActor>(step.actor_type, step.actor_key)
+        .Tell(&TransactionalActor::ExecuteOp, step.compensate_op,
+              step.compensate_arg);
+  }
+}
+
+}  // namespace aodb

@@ -1,0 +1,76 @@
+// Saga-style multi-actor update workflows — the paper's §4.4 alternative to
+// transactions for enforcing cross-actor constraints when a transaction
+// facility is unavailable: "design a multi-actor workflow for updates".
+//
+// A workflow executes its steps sequentially. Each step is a single-actor
+// atomic ExecuteOp; transient failures (Unavailable, Timeout, Aborted lock
+// collisions) are retried with backoff. On a permanent step failure the
+// compensation ops of already-completed steps run in reverse order (best
+// effort), leaving the system consistent under eventual consistency.
+
+#ifndef AODB_AODB_WORKFLOW_H_
+#define AODB_AODB_WORKFLOW_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "aodb/txn.h"
+
+namespace aodb {
+
+/// One workflow step: an op on a TransactionalActor-derived target, plus an
+/// optional compensating op run if a later step permanently fails.
+struct WorkflowStep {
+  std::string actor_type;
+  std::string actor_key;
+  std::string op;
+  std::string arg;
+  /// Compensation; empty means this step cannot be undone.
+  std::string compensate_op;
+  std::string compensate_arg;
+};
+
+/// Per-step retry policy.
+struct WorkflowOptions {
+  int max_retries_per_step = 5;
+  Micros initial_backoff_us = 10 * kMicrosPerMilli;
+};
+
+/// Executes workflows against a cluster. Thread-safe.
+class WorkflowEngine {
+ public:
+  explicit WorkflowEngine(Cluster* cluster,
+                          WorkflowOptions options = WorkflowOptions())
+      : cluster_(cluster), options_(options) {}
+
+  /// Runs the steps in order. The returned status is OK only if every step
+  /// applied. On permanent failure, compensations of completed steps are
+  /// issued (fire-and-forget) before the failure is reported.
+  Future<Status> Run(std::vector<WorkflowStep> steps);
+
+  int64_t steps_executed() const { return steps_executed_.load(); }
+  int64_t retries() const { return retries_.load(); }
+  int64_t compensations() const { return compensations_.load(); }
+
+ private:
+  struct RunState {
+    std::vector<WorkflowStep> steps;
+    size_t next = 0;
+    Promise<Status> done;
+  };
+
+  void RunStep(std::shared_ptr<RunState> state, int retries_left,
+               Micros backoff_us);
+  void Compensate(const std::shared_ptr<RunState>& state, size_t completed);
+
+  Cluster* cluster_;
+  const WorkflowOptions options_;
+  std::atomic<int64_t> steps_executed_{0};
+  std::atomic<int64_t> retries_{0};
+  std::atomic<int64_t> compensations_{0};
+};
+
+}  // namespace aodb
+
+#endif  // AODB_AODB_WORKFLOW_H_

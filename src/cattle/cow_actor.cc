@@ -1,0 +1,123 @@
+#include "cattle/cow_actor.h"
+
+#include "actor/actor_ref.h"
+#include "cattle/farmer_actor.h"
+
+namespace aodb {
+namespace cattle {
+
+Status CowActor::Register(std::string farmer_key, std::string breed,
+                          Micros born_at) {
+  if (!owner_farmer_.empty()) {
+    return Status::AlreadyExists("cow already registered to " +
+                                 owner_farmer_);
+  }
+  owner_farmer_ = std::move(farmer_key);
+  owner_history_.push_back(owner_farmer_);
+  breed_ = std::move(breed);
+  born_at_ = born_at;
+  return Status::OK();
+}
+
+Status CowActor::ReportCollar(CollarReading reading) {
+  if (status_ == CowStatus::kSlaughtered) {
+    return Status::FailedPrecondition("cow is slaughtered");
+  }
+  trajectory_.push_back(reading);
+  if (trajectory_.size() > kTrajectoryCapacity) trajectory_.pop_front();
+  if (!pasture_.empty() && !pasture_.Contains(reading.position)) {
+    ++geofence_breaches_;
+    if (!owner_farmer_.empty()) {
+      ctx().Ref<FarmerActor>(owner_farmer_)
+          .Tell(&FarmerActor::GeofenceAlertReceived,
+                GeofenceAlert{ctx().self().key, reading.ts,
+                              reading.position});
+    }
+  }
+  return Status::OK();
+}
+
+Status CowActor::ReportBolus(BolusReading reading) {
+  if (status_ == CowStatus::kSlaughtered) {
+    return Status::FailedPrecondition("cow is slaughtered");
+  }
+  bolus_window_.push_back(reading);
+  if (bolus_window_.size() > kTrajectoryCapacity) bolus_window_.pop_front();
+  return Status::OK();
+}
+
+Status CowActor::SetPasture(GeoFence fence) {
+  pasture_ = std::move(fence);
+  return Status::OK();
+}
+
+bool CowActor::CallerMayRead() const {
+  const Principal& p = ctx().caller();
+  if (p.tenant.empty()) return true;
+  if (p.tenant == owner_farmer_) return true;
+  // Slaughterhouses and admins may read provenance (requirement 3).
+  return p.role == "slaughterhouse" || p.role == "admin";
+}
+
+std::vector<CollarReading> CowActor::Trajectory(Micros from, Micros to) {
+  std::vector<CollarReading> out;
+  if (!CallerMayRead()) return out;
+  for (const CollarReading& r : trajectory_) {
+    if (r.ts >= from && r.ts < to) out.push_back(r);
+  }
+  return out;
+}
+
+CowInfo CowActor::Info() {
+  CowInfo info;
+  info.cow_key = ctx().self().key;
+  if (!CallerMayRead()) return info;
+  info.owner_farmer = owner_farmer_;
+  info.owner_history = owner_history_;
+  info.status = status_;
+  info.breed = breed_;
+  info.born_at = born_at_;
+  if (!trajectory_.empty()) {
+    info.has_location = true;
+    info.location = trajectory_.back().position;
+  }
+  return info;
+}
+
+double CowActor::MeanRumenTemperature() {
+  if (bolus_window_.empty()) return 0;
+  double sum = 0;
+  for (const BolusReading& r : bolus_window_) sum += r.rumen_temperature_c;
+  return sum / static_cast<double>(bolus_window_.size());
+}
+
+int64_t CowActor::GeofenceBreaches() { return geofence_breaches_; }
+
+Status CowActor::ValidateOp(const std::string& op, const std::string& arg) {
+  if (op == kOpSetOwner) {
+    if (arg.empty()) return Status::InvalidArgument("empty new owner");
+    if (status_ == CowStatus::kSlaughtered) {
+      return Status::FailedPrecondition("cannot transfer a slaughtered cow");
+    }
+    return Status::OK();
+  }
+  if (op == kOpSlaughter) {
+    if (status_ == CowStatus::kSlaughtered) {
+      return Status::FailedPrecondition("cow already slaughtered");
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown cow op: " + op);
+}
+
+void CowActor::ApplyOp(const std::string& op, const std::string& arg) {
+  if (op == kOpSetOwner) {
+    owner_farmer_ = arg;
+    owner_history_.push_back(arg);
+  } else if (op == kOpSlaughter) {
+    status_ = CowStatus::kSlaughtered;
+  }
+}
+
+}  // namespace cattle
+}  // namespace aodb

@@ -1,0 +1,91 @@
+// Cow actors (paper §4.1): one actor per cow. The collar sensor is NOT a
+// separate actor — its readings are non-actor state encapsulated inside the
+// cow ("Since each collar is bound to a cow, we encapsulate this sensor
+// information inside cow actors"). Cows take part in ownership-transfer
+// transactions and in slaughter, so they are TransactionalActors with the
+// op vocabulary {set_owner, slaughter}.
+
+#ifndef AODB_CATTLE_COW_ACTOR_H_
+#define AODB_CATTLE_COW_ACTOR_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "aodb/txn.h"
+#include "cattle/geofence.h"
+#include "cattle/types.h"
+
+namespace aodb {
+namespace cattle {
+
+/// Snapshot of a cow's identity and status, used by farmer/slaughterhouse
+/// service queries (requirement 3: provenance of the cows).
+struct CowInfo {
+  std::string cow_key;
+  std::string owner_farmer;
+  std::vector<std::string> owner_history;
+  CowStatus status = CowStatus::kAlive;
+  std::string breed;
+  Micros born_at = 0;
+  bool has_location = false;
+  GeoPoint location;
+};
+
+/// One cow. Keys look like "cow-123" (a GS1 ear-tag id in production).
+class CowActor : public TransactionalActor {
+ public:
+  static constexpr char kTypeName[] = "cattle.Cow";
+  static constexpr size_t kTrajectoryCapacity = 4096;
+
+  // Transaction op vocabulary.
+  static constexpr char kOpSetOwner[] = "set_owner";
+  static constexpr char kOpSlaughter[] = "slaughter";
+
+  /// Initial registration by the owning farmer.
+  Status Register(std::string farmer_key, std::string breed, Micros born_at);
+
+  /// Collar sensor report: appends to the trajectory window and checks the
+  /// assigned pasture geo-fence, alerting the owner on escape.
+  Status ReportCollar(CollarReading reading);
+
+  /// Bolus (internal) sensor report — heterogeneous second stream with its
+  /// own sampling rate.
+  Status ReportBolus(BolusReading reading);
+
+  /// Assigns the pasture fence (requirement 2: pasture rotation).
+  Status SetPasture(GeoFence fence);
+
+  /// Trajectory points with ts in [from, to), oldest first, visible only to
+  /// the owner tenant / authorized roles.
+  std::vector<CollarReading> Trajectory(Micros from, Micros to);
+
+  CowInfo Info();
+
+  /// Latest internal-sensor state (mean rumen temperature over the window).
+  double MeanRumenTemperature();
+
+  int64_t GeofenceBreaches();
+
+ protected:
+  Status ValidateOp(const std::string& op, const std::string& arg) override;
+  void ApplyOp(const std::string& op, const std::string& arg) override;
+
+ private:
+  bool CallerMayRead() const;
+
+  std::string owner_farmer_;
+  std::vector<std::string> owner_history_;
+  CowStatus status_ = CowStatus::kAlive;
+  std::string breed_;
+  Micros born_at_ = 0;
+  std::deque<CollarReading> trajectory_;
+  std::deque<BolusReading> bolus_window_;
+  GeoFence pasture_;
+  int64_t geofence_breaches_ = 0;
+};
+
+}  // namespace cattle
+}  // namespace aodb
+
+#endif  // AODB_CATTLE_COW_ACTOR_H_

@@ -1,0 +1,97 @@
+// Distributor and Delivery actors (Figure 3): a logistics company is a
+// Distributor actor managing multiple Delivery actors, each tracking one
+// transport of meat cuts from a source to a destination with a vehicle at
+// a given time. Also hosts the object-cut model's embedded records
+// (Figure 5 variant).
+
+#ifndef AODB_CATTLE_DISTRIBUTOR_ACTOR_H_
+#define AODB_CATTLE_DISTRIBUTOR_ACTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "aodb/txn.h"
+#include "cattle/meat_cut_actor.h"
+#include "cattle/types.h"
+
+namespace aodb {
+namespace cattle {
+
+/// One transport process of one or more meat cuts.
+class DeliveryActor : public ActorBase {
+ public:
+  static constexpr char kTypeName[] = "cattle.Delivery";
+
+  /// Plans the delivery.
+  Status Plan(std::string distributor_key, std::vector<std::string> cut_keys,
+              std::string source, std::string destination,
+              std::string vehicle);
+
+  /// Marks departure and stamps every cut's itinerary with the transport
+  /// leg (actor-cut model). Completes when every cut acknowledged.
+  Future<Status> Depart();
+
+  /// Marks arrival, stamping the destination hop on every cut.
+  Future<Status> Arrive(std::string receiver_type, std::string receiver_key);
+
+  bool InTransit();
+  std::vector<std::string> CutKeys();
+
+ private:
+  Future<Status> StampAll(ItineraryEntry entry);
+
+  std::string distributor_key_;
+  std::vector<std::string> cut_keys_;
+  std::string source_;
+  std::string destination_;
+  std::string vehicle_;
+  bool planned_ = false;
+  bool in_transit_ = false;
+};
+
+/// One logistics company.
+class DistributorActor : public TransactionalActor {
+ public:
+  static constexpr char kTypeName[] = "cattle.Distributor";
+
+  // --- Actor-cut model ------------------------------------------------------
+
+  /// Creates and plans a Delivery actor named "<self>.d<N>"; returns its
+  /// key. The delivery is a separate actor because transports run
+  /// concurrently (paper §4.1).
+  Future<std::string> PlanDelivery(std::vector<std::string> cut_keys,
+                                   std::string source,
+                                   std::string destination,
+                                   std::string vehicle);
+
+  std::vector<std::string> Deliveries();
+
+  // --- Object-cut model (Figure 5) -------------------------------------------
+
+  /// Receives copied cut records from upstream.
+  Status ReceiveCuts(std::vector<MeatCutRecord> cuts);
+
+  /// Copies the named records onward to a retailer.
+  Future<Status> TransferCutsToRetailer(std::string retailer_key,
+                                        std::vector<std::string> cut_keys,
+                                        std::string location);
+
+  /// Local read (no message round trip).
+  MeatCutRecord ReadCutLocal(std::string cut_key);
+  int64_t LocalCutCount();
+
+ protected:
+  Status ValidateOp(const std::string& op, const std::string& arg) override;
+  void ApplyOp(const std::string& op, const std::string& arg) override;
+
+ private:
+  int64_t delivery_seq_ = 0;
+  std::vector<std::string> deliveries_;
+  std::map<std::string, MeatCutRecord> local_cuts_;
+};
+
+}  // namespace cattle
+}  // namespace aodb
+
+#endif  // AODB_CATTLE_DISTRIBUTOR_ACTOR_H_

@@ -1,0 +1,63 @@
+#include "cattle/farmer_actor.h"
+
+namespace aodb {
+namespace cattle {
+
+Status FarmerActor::RegisterCow(std::string cow_key) {
+  auto [it, inserted] = herd_.insert(std::move(cow_key));
+  if (!inserted) return Status::AlreadyExists("cow already in herd");
+  return Status::OK();
+}
+
+std::vector<std::string> FarmerActor::Herd() {
+  return std::vector<std::string>(herd_.begin(), herd_.end());
+}
+
+int64_t FarmerActor::HerdSize() { return static_cast<int64_t>(herd_.size()); }
+
+bool FarmerActor::Owns(std::string cow_key) {
+  return herd_.count(cow_key) > 0;
+}
+
+void FarmerActor::GeofenceAlertReceived(GeofenceAlert alert) {
+  alerts_.push_back(std::move(alert));
+  if (alerts_.size() > 1000) alerts_.pop_front();
+  ++total_alerts_;
+}
+
+std::vector<GeofenceAlert> FarmerActor::DrainAlerts() {
+  std::vector<GeofenceAlert> out(alerts_.begin(), alerts_.end());
+  alerts_.clear();
+  return out;
+}
+
+int64_t FarmerActor::TotalAlerts() { return total_alerts_; }
+
+Status FarmerActor::ValidateOp(const std::string& op,
+                               const std::string& arg) {
+  if (op == kOpAddCow) {
+    if (arg.empty()) return Status::InvalidArgument("empty cow key");
+    if (herd_.count(arg) > 0) {
+      return Status::FailedPrecondition("cow already in herd: " + arg);
+    }
+    return Status::OK();
+  }
+  if (op == kOpRemoveCow) {
+    if (herd_.count(arg) == 0) {
+      return Status::FailedPrecondition("cow not in herd: " + arg);
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown farmer op: " + op);
+}
+
+void FarmerActor::ApplyOp(const std::string& op, const std::string& arg) {
+  if (op == kOpAddCow) {
+    herd_.insert(arg);
+  } else if (op == kOpRemoveCow) {
+    herd_.erase(arg);
+  }
+}
+
+}  // namespace cattle
+}  // namespace aodb

@@ -1,0 +1,64 @@
+// Farmer actors (paper §4.1): one actor per farm unit ("one farmer or
+// several farmers who work together, e.g. a cooperative, as one single
+// Farmer actor because the state of this farm unit is organized as a
+// unit"). Holds the herd, pasture fences (non-actor objects), and the
+// geo-fence alert inbox. Participates in ownership-transfer transactions
+// with ops {add_cow, remove_cow}.
+
+#ifndef AODB_CATTLE_FARMER_ACTOR_H_
+#define AODB_CATTLE_FARMER_ACTOR_H_
+
+#include <deque>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "aodb/txn.h"
+#include "cattle/geofence.h"
+#include "cattle/types.h"
+
+namespace aodb {
+namespace cattle {
+
+/// Escape notification sent by a cow that left its pasture.
+struct GeofenceAlert {
+  std::string cow_key;
+  Micros ts = 0;
+  GeoPoint position;
+};
+
+/// One farm unit.
+class FarmerActor : public TransactionalActor {
+ public:
+  static constexpr char kTypeName[] = "cattle.Farmer";
+
+  static constexpr char kOpAddCow[] = "add_cow";
+  static constexpr char kOpRemoveCow[] = "remove_cow";
+
+  /// Direct herd registration (initial intake, not a transfer).
+  Status RegisterCow(std::string cow_key);
+
+  /// The keys of all cows this farm currently owns.
+  std::vector<std::string> Herd();
+  int64_t HerdSize();
+  bool Owns(std::string cow_key);
+
+  /// Geo-fence alert delivery (from CowActor).
+  void GeofenceAlertReceived(GeofenceAlert alert);
+  std::vector<GeofenceAlert> DrainAlerts();
+  int64_t TotalAlerts();
+
+ protected:
+  Status ValidateOp(const std::string& op, const std::string& arg) override;
+  void ApplyOp(const std::string& op, const std::string& arg) override;
+
+ private:
+  std::set<std::string> herd_;
+  std::deque<GeofenceAlert> alerts_;
+  int64_t total_alerts_ = 0;
+};
+
+}  // namespace cattle
+}  // namespace aodb
+
+#endif  // AODB_CATTLE_FARMER_ACTOR_H_

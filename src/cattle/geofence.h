@@ -1,0 +1,52 @@
+// Geo-fencing support (functional requirement 2: identify whether a cow is
+// in an appropriate area, e.g. when rotating pasture grounds).
+
+#ifndef AODB_CATTLE_GEOFENCE_H_
+#define AODB_CATTLE_GEOFENCE_H_
+
+#include <vector>
+
+#include "cattle/types.h"
+
+namespace aodb {
+namespace cattle {
+
+/// A simple polygon fence (vertices in order, implicitly closed).
+struct GeoFence {
+  std::vector<GeoPoint> vertices;
+
+  bool empty() const { return vertices.size() < 3; }
+
+  /// Even-odd (ray casting) point-in-polygon test. Points exactly on an
+  /// edge may land on either side; fences are not adjudication devices.
+  bool Contains(const GeoPoint& p) const {
+    if (empty()) return true;  // No fence: everywhere is fine.
+    bool inside = false;
+    size_t n = vertices.size();
+    for (size_t i = 0, j = n - 1; i < n; j = i++) {
+      const GeoPoint& a = vertices[i];
+      const GeoPoint& b = vertices[j];
+      bool crosses = (a.lat > p.lat) != (b.lat > p.lat);
+      if (crosses) {
+        double x_at =
+            (b.lon - a.lon) * (p.lat - a.lat) / (b.lat - a.lat) + a.lon;
+        if (p.lon < x_at) inside = !inside;
+      }
+    }
+    return inside;
+  }
+
+  /// Axis-aligned rectangular fence helper.
+  static GeoFence Rectangle(double lat_min, double lon_min, double lat_max,
+                            double lon_max) {
+    GeoFence f;
+    f.vertices = {GeoPoint{lat_min, lon_min}, GeoPoint{lat_min, lon_max},
+                  GeoPoint{lat_max, lon_max}, GeoPoint{lat_max, lon_min}};
+    return f;
+  }
+};
+
+}  // namespace cattle
+}  // namespace aodb
+
+#endif  // AODB_CATTLE_GEOFENCE_H_

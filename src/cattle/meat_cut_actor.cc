@@ -1,0 +1,57 @@
+#include "cattle/meat_cut_actor.h"
+
+namespace aodb {
+namespace cattle {
+
+Status MeatCutActor::Create(std::string cow_key, std::string farmer_key,
+                            std::string slaughterhouse_key,
+                            Micros slaughtered_at, std::string location) {
+  if (created_) return Status::AlreadyExists("meat cut exists");
+  created_ = true;
+  cow_key_ = std::move(cow_key);
+  farmer_key_ = std::move(farmer_key);
+  slaughterhouse_key_ = std::move(slaughterhouse_key);
+  slaughtered_at_ = slaughtered_at;
+  holder_ = "Slaughterhouse/" + slaughterhouse_key_;
+  itinerary_.push_back(ItineraryEntry{slaughtered_at, "Slaughterhouse",
+                                      slaughterhouse_key_,
+                                      std::move(location), ""});
+  return Status::OK();
+}
+
+Status MeatCutActor::AddItinerary(ItineraryEntry entry) {
+  if (!created_) return Status::FailedPrecondition("meat cut not created");
+  holder_ = entry.holder_type + "/" + entry.holder_key;
+  itinerary_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+CutTrace MeatCutActor::Trace() {
+  CutTrace trace;
+  trace.cut_key = ctx().self().key;
+  trace.cow_key = cow_key_;
+  trace.farmer_key = farmer_key_;
+  trace.slaughterhouse_key = slaughterhouse_key_;
+  trace.slaughtered_at = slaughtered_at_;
+  trace.itinerary = itinerary_;
+  return trace;
+}
+
+std::string MeatCutActor::Holder() { return holder_; }
+
+Status MeatCutActor::ValidateOp(const std::string& op,
+                                const std::string& arg) {
+  if (op == kOpSetHolder) {
+    if (!created_) return Status::FailedPrecondition("meat cut not created");
+    if (arg.empty()) return Status::InvalidArgument("empty holder");
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown meat cut op: " + op);
+}
+
+void MeatCutActor::ApplyOp(const std::string& op, const std::string& arg) {
+  if (op == kOpSetHolder) holder_ = arg;
+}
+
+}  // namespace cattle
+}  // namespace aodb

@@ -1,0 +1,56 @@
+// Meat cut actors: the Figure 3 model's representation of the inanimate
+// meat-cut entity as a full actor. The alternative Figure 5 model (§4.3)
+// instead embeds MeatCutRecord objects inside the responsible actors; both
+// are implemented, and bench/ablation_granularity compares them.
+
+#ifndef AODB_CATTLE_MEAT_CUT_ACTOR_H_
+#define AODB_CATTLE_MEAT_CUT_ACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "aodb/txn.h"
+#include "cattle/types.h"
+
+namespace aodb {
+namespace cattle {
+
+/// One unit of beef distributed as a whole (actor variant).
+class MeatCutActor : public TransactionalActor {
+ public:
+  static constexpr char kTypeName[] = "cattle.MeatCut";
+
+  static constexpr char kOpSetHolder[] = "set_holder";
+
+  /// Created by the slaughterhouse with full provenance.
+  Status Create(std::string cow_key, std::string farmer_key,
+                std::string slaughterhouse_key, Micros slaughtered_at,
+                std::string location);
+
+  /// Appends a journey hop (transfer or transport leg).
+  Status AddItinerary(ItineraryEntry entry);
+
+  /// Provenance + full itinerary (tracing, requirements 4-6).
+  CutTrace Trace();
+
+  /// The current holder ("<type>/<key>").
+  std::string Holder();
+
+ protected:
+  Status ValidateOp(const std::string& op, const std::string& arg) override;
+  void ApplyOp(const std::string& op, const std::string& arg) override;
+
+ private:
+  bool created_ = false;
+  std::string cow_key_;
+  std::string farmer_key_;
+  std::string slaughterhouse_key_;
+  Micros slaughtered_at_ = 0;
+  std::string holder_;
+  std::vector<ItineraryEntry> itinerary_;
+};
+
+}  // namespace cattle
+}  // namespace aodb
+
+#endif  // AODB_CATTLE_MEAT_CUT_ACTOR_H_

@@ -1,0 +1,150 @@
+#include "cattle/platform.h"
+
+namespace aodb {
+namespace cattle {
+
+void CattlePlatform::RegisterTypes(Cluster& cluster) {
+  cluster.RegisterActorType<CowActor>();
+  cluster.RegisterActorType<FarmerActor>();
+  cluster.RegisterActorType<SlaughterhouseActor>();
+  cluster.RegisterActorType<MeatCutActor>();
+  cluster.RegisterActorType<DistributorActor>();
+  cluster.RegisterActorType<DeliveryActor>();
+  cluster.RegisterActorType<RetailerActor>();
+  cluster.RegisterActorType<MeatProductActor>();
+}
+
+Future<Status> CattlePlatform::RegisterCow(const std::string& cow_key,
+                                           const std::string& farmer_key,
+                                           const std::string& breed) {
+  auto cow_ack = cluster_->Ref<CowActor>(cow_key).Call(
+      &CowActor::Register, farmer_key, breed, cluster_->clock()->Now());
+  auto farmer_ack = cluster_->Ref<FarmerActor>(farmer_key)
+                        .Call(&FarmerActor::RegisterCow, cow_key);
+  Promise<Status> done;
+  WhenAll(std::vector<Future<Status>>{cow_ack, farmer_ack})
+      .OnReady([done](Result<std::vector<Result<Status>>>&& r) {
+        if (!r.ok()) {
+          done.SetValue(r.status());
+          return;
+        }
+        for (const auto& ack : r.value()) {
+          Status st = ack.ok() ? ack.value() : ack.status();
+          if (!st.ok()) {
+            done.SetValue(st);
+            return;
+          }
+        }
+        done.SetValue(Status::OK());
+      });
+  return done.GetFuture();
+}
+
+Future<Status> CattlePlatform::TransferOwnershipTxn(
+    const std::string& cow_key, const std::string& from_farmer,
+    const std::string& to_farmer) {
+  return txn_.Run({
+      TxnOp{CowActor::kTypeName, cow_key, CowActor::kOpSetOwner, to_farmer},
+      TxnOp{FarmerActor::kTypeName, from_farmer, FarmerActor::kOpRemoveCow,
+            cow_key},
+      TxnOp{FarmerActor::kTypeName, to_farmer, FarmerActor::kOpAddCow,
+            cow_key},
+  });
+}
+
+Future<Status> CattlePlatform::TransferOwnershipWorkflow(
+    const std::string& cow_key, const std::string& from_farmer,
+    const std::string& to_farmer) {
+  return workflows_.Run({
+      WorkflowStep{FarmerActor::kTypeName, from_farmer,
+                   FarmerActor::kOpRemoveCow, cow_key,
+                   FarmerActor::kOpAddCow, cow_key},
+      WorkflowStep{FarmerActor::kTypeName, to_farmer, FarmerActor::kOpAddCow,
+                   cow_key, FarmerActor::kOpRemoveCow, cow_key},
+      WorkflowStep{CowActor::kTypeName, cow_key, CowActor::kOpSetOwner,
+                   to_farmer, CowActor::kOpSetOwner, from_farmer},
+  });
+}
+
+Future<std::vector<std::string>> CattlePlatform::SlaughterAndCut(
+    const std::string& slaughterhouse_key, const std::string& cow_key,
+    const std::string& farmer_key, int num_cuts) {
+  auto sh = cluster_->Ref<SlaughterhouseActor>(slaughterhouse_key);
+  Promise<std::vector<std::string>> done;
+  sh.Call(&SlaughterhouseActor::Slaughter, cow_key)
+      .OnReady([sh, cow_key, farmer_key, num_cuts,
+                done](Result<Status>&& r) {
+        Status st = r.ok() ? r.value() : r.status();
+        if (!st.ok()) {
+          done.SetError(st);
+          return;
+        }
+        sh.Call(&SlaughterhouseActor::CreateCuts, cow_key, farmer_key,
+                num_cuts)
+            .OnReady([done](Result<std::vector<std::string>>&& keys) {
+              if (!keys.ok()) {
+                done.SetError(keys.status());
+                return;
+              }
+              done.SetValue(std::move(keys).value());
+            });
+      });
+  return done.GetFuture();
+}
+
+Future<Status> CattlePlatform::ShipCuts(const std::string& distributor_key,
+                                        const std::string& retailer_key,
+                                        std::vector<std::string> cut_keys,
+                                        const std::string& source,
+                                        const std::string& destination) {
+  auto dist = cluster_->Ref<DistributorActor>(distributor_key);
+  Cluster* cluster = cluster_;
+  Promise<Status> done;
+  dist.Call(&DistributorActor::PlanDelivery, cut_keys, source, destination,
+            std::string("truck-1"))
+      .OnReady([cluster, retailer_key, cut_keys,
+                done](Result<std::string>&& delivery_key) {
+        if (!delivery_key.ok()) {
+          done.SetValue(delivery_key.status());
+          return;
+        }
+        auto delivery =
+            cluster->Ref<DeliveryActor>(delivery_key.value());
+        delivery.Call(&DeliveryActor::Depart)
+            .OnReady([cluster, delivery, retailer_key, cut_keys,
+                      done](Result<Status>&& dep) {
+              Status st = dep.ok() ? dep.value() : dep.status();
+              if (!st.ok()) {
+                done.SetValue(st);
+                return;
+              }
+              delivery
+                  .Call(&DeliveryActor::Arrive, std::string("Retailer"),
+                        retailer_key)
+                  .OnReady([cluster, retailer_key, cut_keys,
+                            done](Result<Status>&& arr) {
+                    Status st = arr.ok() ? arr.value() : arr.status();
+                    if (!st.ok()) {
+                      done.SetValue(st);
+                      return;
+                    }
+                    cluster->Ref<RetailerActor>(retailer_key)
+                        .Call(&RetailerActor::RegisterCutArrival, cut_keys)
+                        .OnReady([done](Result<Status>&& reg) {
+                          done.SetValue(reg.ok() ? reg.value()
+                                                 : reg.status());
+                        });
+                  });
+            });
+      });
+  return done.GetFuture();
+}
+
+Future<ProductTrace> CattlePlatform::TraceProduct(
+    const std::string& product_key) {
+  return cluster_->Ref<MeatProductActor>(product_key)
+      .Call(&MeatProductActor::Trace);
+}
+
+}  // namespace cattle
+}  // namespace aodb

@@ -1,0 +1,97 @@
+// Cattle platform facade: type registration and the cross-actor operations
+// of the case study — cow registration, ownership transfer (via 2PC
+// transaction OR saga workflow, the paper's §4.4 options), the slaughter-
+// to-product pipeline in both meat-cut models, and consumer tracing.
+
+#ifndef AODB_CATTLE_PLATFORM_H_
+#define AODB_CATTLE_PLATFORM_H_
+
+#include <string>
+#include <vector>
+
+#include "aodb/txn.h"
+#include "aodb/workflow.h"
+#include "cattle/cow_actor.h"
+#include "cattle/distributor_actor.h"
+#include "cattle/farmer_actor.h"
+#include "cattle/meat_cut_actor.h"
+#include "cattle/retailer_actor.h"
+#include "cattle/slaughterhouse_actor.h"
+
+namespace aodb {
+namespace cattle {
+
+/// Client-side facade over the cattle actor database.
+class CattlePlatform {
+ public:
+  explicit CattlePlatform(Cluster* cluster)
+      : cluster_(cluster), txn_(cluster), workflows_(cluster) {}
+
+  /// Registers every cattle actor type on the cluster.
+  static void RegisterTypes(Cluster& cluster);
+
+  // --- Key naming -----------------------------------------------------------
+  static std::string CowKey(int i) { return "cow-" + std::to_string(i); }
+  static std::string FarmerKey(int i) { return "farm-" + std::to_string(i); }
+  static std::string SlaughterhouseKey(int i) {
+    return "sh-" + std::to_string(i);
+  }
+  static std::string DistributorKey(int i) {
+    return "dist-" + std::to_string(i);
+  }
+  static std::string RetailerKey(int i) {
+    return "shop-" + std::to_string(i);
+  }
+
+  // --- Herd management -------------------------------------------------------
+
+  /// Registers a new cow under a farmer (both sides updated).
+  Future<Status> RegisterCow(const std::string& cow_key,
+                             const std::string& farmer_key,
+                             const std::string& breed);
+
+  /// Ownership transfer as an ACID 2PC transaction across the cow and both
+  /// farmers (the paper's preferred option when transactions exist).
+  Future<Status> TransferOwnershipTxn(const std::string& cow_key,
+                                      const std::string& from_farmer,
+                                      const std::string& to_farmer);
+
+  /// The same transfer as a compensating saga workflow (the paper's
+  /// fallback when the runtime lacks transactions).
+  Future<Status> TransferOwnershipWorkflow(const std::string& cow_key,
+                                           const std::string& from_farmer,
+                                           const std::string& to_farmer);
+
+  // --- Supply chain (actor-cut model, Figure 3) --------------------------------
+
+  /// Slaughters a cow and derives `num_cuts` MeatCutActors. Returns the
+  /// cut keys.
+  Future<std::vector<std::string>> SlaughterAndCut(
+      const std::string& slaughterhouse_key, const std::string& cow_key,
+      const std::string& farmer_key, int num_cuts);
+
+  /// Ships cuts via a new delivery of `distributor_key` and registers their
+  /// arrival at the retailer.
+  Future<Status> ShipCuts(const std::string& distributor_key,
+                          const std::string& retailer_key,
+                          std::vector<std::string> cut_keys,
+                          const std::string& source,
+                          const std::string& destination);
+
+  /// Consumer tracing of a product back to the animals.
+  Future<ProductTrace> TraceProduct(const std::string& product_key);
+
+  TxnManager& txn() { return txn_; }
+  WorkflowEngine& workflows() { return workflows_; }
+  Cluster& cluster() { return *cluster_; }
+
+ private:
+  Cluster* cluster_;
+  TxnManager txn_;
+  WorkflowEngine workflows_;
+};
+
+}  // namespace cattle
+}  // namespace aodb
+
+#endif  // AODB_CATTLE_PLATFORM_H_

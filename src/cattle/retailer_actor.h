@@ -1,0 +1,100 @@
+// Retailer and MeatProduct actors (Figure 3): retailers receive meat cuts
+// and transform them into consumer products by disaggregating or combining
+// cuts (many-to-many between products and cuts). Tracing a product walks
+// product -> cuts -> cow -> farmer. Object-cut records (Figure 5) are also
+// supported: products then embed provenance copies directly.
+
+#ifndef AODB_CATTLE_RETAILER_ACTOR_H_
+#define AODB_CATTLE_RETAILER_ACTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "aodb/txn.h"
+#include "cattle/meat_cut_actor.h"
+#include "cattle/types.h"
+
+namespace aodb {
+namespace cattle {
+
+/// A consumer-facing meat product derived from one or more cuts.
+class MeatProductActor : public ActorBase {
+ public:
+  static constexpr char kTypeName[] = "cattle.MeatProduct";
+
+  /// Created by a retailer from a set of cut keys (actor-cut model).
+  Status Create(std::string retailer_key, std::vector<std::string> cut_keys);
+
+  /// Created by a retailer with embedded provenance (object-cut model); no
+  /// further messages are needed to trace.
+  Status CreateWithRecords(std::string retailer_key,
+                           std::vector<MeatCutRecord> records);
+
+  /// Full supply-chain trace (requirement 6: consumer tracing). In the
+  /// actor-cut model this fans out to the cut actors; in the object-cut
+  /// model it is answered from embedded state.
+  Future<ProductTrace> Trace();
+
+  std::vector<std::string> CutKeys();
+
+ private:
+  bool created_ = false;
+  std::string retailer_key_;
+  Micros created_at_ = 0;
+  std::vector<std::string> cut_keys_;
+  std::vector<MeatCutRecord> embedded_records_;
+};
+
+/// One retailer (e.g. a supermarket chain).
+class RetailerActor : public TransactionalActor {
+ public:
+  static constexpr char kTypeName[] = "cattle.Retailer";
+
+  // --- Actor-cut model ------------------------------------------------------
+
+  /// Registers arrival of actor-model cuts at this retailer.
+  Status RegisterCutArrival(std::vector<std::string> cut_keys);
+
+  /// Builds a MeatProduct actor "<self>.p<N>" from the given cuts.
+  Future<std::string> CreateProduct(std::vector<std::string> cut_keys);
+
+  // --- Object-cut model -------------------------------------------------------
+
+  Status ReceiveCuts(std::vector<MeatCutRecord> cuts);
+
+  /// Builds a product embedding copies of the named local records.
+  Future<std::string> CreateProductLocal(std::vector<std::string> cut_keys);
+
+  MeatCutRecord ReadCutLocal(std::string cut_key);
+  int64_t LocalCutCount();
+
+  // --- Granularity ablation probes (§4.3) -----------------------------------
+
+  /// Reads the trace of every listed cut `rounds` times through cross-actor
+  /// calls (actor-cut model). Returns the number of itinerary hops seen.
+  Future<int64_t> AuditCutsRemote(std::vector<std::string> cut_keys,
+                                  int rounds);
+
+  /// The same audit over embedded records: no messages leave this actor
+  /// (object-cut model). Returns the number of itinerary hops seen.
+  int64_t AuditCutsLocal(std::vector<std::string> cut_keys, int rounds);
+
+  std::vector<std::string> Products();
+  std::vector<std::string> AvailableCuts();
+
+ protected:
+  Status ValidateOp(const std::string& op, const std::string& arg) override;
+  void ApplyOp(const std::string& op, const std::string& arg) override;
+
+ private:
+  int64_t product_seq_ = 0;
+  std::vector<std::string> products_;
+  std::vector<std::string> arrived_cuts_;
+  std::map<std::string, MeatCutRecord> local_cuts_;
+};
+
+}  // namespace cattle
+}  // namespace aodb
+
+#endif  // AODB_CATTLE_RETAILER_ACTOR_H_

@@ -1,0 +1,74 @@
+// Slaughterhouse actors: record the slaughter of cows and their
+// transformation into meat cuts (Figure 3). Supports both meat-cut models:
+// actor cuts (CreateCuts spawns MeatCutActors) and object cuts
+// (SlaughterLocal keeps MeatCutRecords embedded; Figure 5 / §4.3).
+
+#ifndef AODB_CATTLE_SLAUGHTERHOUSE_ACTOR_H_
+#define AODB_CATTLE_SLAUGHTERHOUSE_ACTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "aodb/txn.h"
+#include "cattle/cow_actor.h"
+#include "cattle/meat_cut_actor.h"
+#include "cattle/types.h"
+
+namespace aodb {
+namespace cattle {
+
+/// One physical slaughterhouse.
+class SlaughterhouseActor : public TransactionalActor {
+ public:
+  static constexpr char kTypeName[] = "cattle.Slaughterhouse";
+
+  // --- Common -------------------------------------------------------------
+
+  /// Slaughters `cow_key` (marks the cow via its transactional op) and
+  /// returns the provenance needed to derive cuts. Fails if the cow is
+  /// already slaughtered.
+  Future<Status> Slaughter(std::string cow_key);
+
+  /// Cows processed by this slaughterhouse.
+  std::vector<std::string> ProcessedCows();
+
+  // --- Actor-cut model (Figure 3) ------------------------------------------
+
+  /// Derives `num_cuts` MeatCutActors from a slaughtered cow. The cut keys
+  /// are "<cow_key>.cut<i>". Returns the created keys via the future.
+  Future<std::vector<std::string>> CreateCuts(std::string cow_key,
+                                              std::string farmer_key,
+                                              int num_cuts);
+
+  // --- Object-cut model (Figure 5, §4.3) ------------------------------------
+
+  /// Derives `num_cuts` embedded MeatCutRecords from a slaughtered cow.
+  std::vector<std::string> CreateCutsLocal(std::string cow_key,
+                                           std::string farmer_key,
+                                           int num_cuts);
+
+  /// Copies the named local cut records to a distributor (object-version
+  /// transfer: the records are duplicated, the local ones marked moved).
+  Future<Status> TransferCutsTo(std::string distributor_key,
+                                std::vector<std::string> cut_keys,
+                                std::string location);
+
+  /// Local read of an embedded cut record (no cross-actor message).
+  MeatCutRecord ReadCutLocal(std::string cut_key);
+
+  int64_t LocalCutCount();
+
+ protected:
+  Status ValidateOp(const std::string& op, const std::string& arg) override;
+  void ApplyOp(const std::string& op, const std::string& arg) override;
+
+ private:
+  std::vector<std::string> processed_cows_;
+  std::map<std::string, MeatCutRecord> local_cuts_;
+};
+
+}  // namespace cattle
+}  // namespace aodb
+
+#endif  // AODB_CATTLE_SLAUGHTERHOUSE_ACTOR_H_

@@ -1,0 +1,114 @@
+// Shared value types of the beef cattle tracking & tracing platform (case
+// study 2, Figures 2, 3 and 5 of the paper): GS1-style identifiers, collar
+// readings, itineraries, and trace records.
+
+#ifndef AODB_CATTLE_TYPES_H_
+#define AODB_CATTLE_TYPES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/codec.h"
+#include "common/status.h"
+
+namespace aodb {
+namespace cattle {
+
+/// WGS84-ish coordinate (degrees). Precision is irrelevant to the model.
+struct GeoPoint {
+  double lat = 0;
+  double lon = 0;
+};
+
+/// One reading from a cow's collar sensor: position plus motion metrics
+/// (functional requirements 1-2: store animal sensor data, track
+/// trajectory and behavior).
+struct CollarReading {
+  Micros ts = 0;
+  GeoPoint position;
+  double speed_mps = 0;
+  double temperature_c = 38.5;
+};
+
+/// A rumen/bolus sensor reading (the paper notes cattle often carry
+/// internal digestive-tract sensors with different sampling rates).
+struct BolusReading {
+  Micros ts = 0;
+  double rumen_temperature_c = 39.0;
+  double ph = 6.5;
+};
+
+/// Life status of a cow.
+enum class CowStatus : int { kAlive = 0, kSlaughtered = 1 };
+
+/// One hop in a meat cut's journey through the supply chain (functional
+/// requirements 3-4: tracking of cut transfers).
+struct ItineraryEntry {
+  Micros ts = 0;
+  std::string holder_type;  ///< "Slaughterhouse" / "Distributor" / "Retailer".
+  std::string holder_key;
+  std::string location;
+  std::string vehicle;  ///< Empty except for transport legs.
+
+  void Encode(BufWriter* w) const {
+    w->PutSigned(ts);
+    w->PutString(holder_type);
+    w->PutString(holder_key);
+    w->PutString(location);
+    w->PutString(vehicle);
+  }
+  Status Decode(BufReader* r) {
+    AODB_RETURN_NOT_OK(r->GetSigned(&ts));
+    AODB_RETURN_NOT_OK(r->GetString(&holder_type));
+    AODB_RETURN_NOT_OK(r->GetString(&holder_key));
+    AODB_RETURN_NOT_OK(r->GetString(&location));
+    return r->GetString(&vehicle);
+  }
+};
+
+/// Provenance + journey of one meat cut, as returned by tracing queries.
+struct CutTrace {
+  std::string cut_key;
+  std::string cow_key;
+  std::string farmer_key;        ///< Owner at slaughter time.
+  std::string slaughterhouse_key;
+  Micros slaughtered_at = 0;
+  std::vector<ItineraryEntry> itinerary;
+};
+
+/// Full trace of a consumer product back to the animals (functional
+/// requirement 6: consumers trace meat products over the whole chain).
+struct ProductTrace {
+  std::string product_key;
+  std::string retailer_key;
+  Micros created_at = 0;
+  std::vector<CutTrace> cuts;
+};
+
+/// The non-actor object version of a meat cut used by the paper's
+/// alternative model (Figure 5, §4.3): inanimate, frequently accessed
+/// entities held as versioned objects *inside* the responsible actor and
+/// copied on transfer.
+struct MeatCutRecord {
+  std::string cut_key;
+  int32_t version = 0;  ///< Incremented on every inter-actor copy.
+  std::string cow_key;
+  std::string farmer_key;
+  std::string slaughterhouse_key;
+  Micros slaughtered_at = 0;
+  std::vector<ItineraryEntry> itinerary;
+};
+
+// Simulated CPU costs of cattle-platform messages (same calibration scale
+// as the SHM platform).
+constexpr Micros kCostCollarReport = 120;
+constexpr Micros kCostTraceHop = 80;
+constexpr Micros kCostTransfer = 150;
+constexpr Micros kCostLocalRead = 1;    ///< Reading an embedded object.
+constexpr Micros kCostRemoteRead = 60;  ///< Projection call on an actor.
+
+}  // namespace cattle
+}  // namespace aodb
+
+#endif  // AODB_CATTLE_TYPES_H_

@@ -1,0 +1,18 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace aodb {
+
+Micros RealClock::Now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+RealClock* RealClock::Instance() {
+  static RealClock clock;
+  return &clock;
+}
+
+}  // namespace aodb

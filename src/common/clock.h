@@ -1,0 +1,55 @@
+// Pluggable time source. The real actor runtime uses the wall clock; the
+// discrete-event simulator advances a manual clock in virtual time. All
+// timestamps in the library are microseconds on the owning clock.
+
+#ifndef AODB_COMMON_CLOCK_H_
+#define AODB_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace aodb {
+
+/// Microsecond timestamp. Real mode: microseconds since steady-clock epoch.
+/// Simulated mode: virtual microseconds since simulation start.
+using Micros = int64_t;
+
+constexpr Micros kMicrosPerMilli = 1000;
+constexpr Micros kMicrosPerSecond = 1000 * 1000;
+
+/// Abstract monotonic time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds. Monotone non-decreasing.
+  virtual Micros Now() const = 0;
+};
+
+/// Wall-clock time source backed by std::chrono::steady_clock.
+class RealClock final : public Clock {
+ public:
+  Micros Now() const override;
+  /// Process-wide singleton.
+  static RealClock* Instance();
+};
+
+/// Manually advanced clock, used by the discrete-event simulator and by
+/// deterministic unit tests.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(Micros start = 0) : now_(start) {}
+  Micros Now() const override { return now_.load(std::memory_order_acquire); }
+  /// Moves time forward by `delta` microseconds.
+  void Advance(Micros delta) {
+    now_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+  /// Jumps to an absolute time. Must not move backwards.
+  void Set(Micros t) { now_.store(t, std::memory_order_release); }
+
+ private:
+  std::atomic<Micros> now_;
+};
+
+}  // namespace aodb
+
+#endif  // AODB_COMMON_CLOCK_H_

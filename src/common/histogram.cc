@@ -1,0 +1,122 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace aodb {
+
+Histogram::Histogram()
+    : buckets_(kOctaves * kSubBuckets, 0),
+      count_(0),
+      max_(0),
+      min_(std::numeric_limits<int64_t>::max()),
+      sum_(0),
+      sum_sq_(0) {}
+
+// Bucketing scheme: values below kSubBuckets are exact (octave 0). For a
+// larger value with most-significant bit `msb`, octave = msb - kSubBucketBits
+// + 1 and the sub-bucket is (value >> octave) & (kSubBuckets - 1); since the
+// shifted value keeps its leading bit, sub lies in [kSubBuckets/2,
+// kSubBuckets) and the bucket covers [sub << octave, (sub + 1) << octave).
+int Histogram::BucketIndex(int64_t value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  int msb = 63 - __builtin_clzll(static_cast<uint64_t>(value));
+  int octave = msb - kSubBucketBits + 1;
+  if (octave >= kOctaves) {
+    octave = kOctaves - 1;
+    return octave * kSubBuckets + (kSubBuckets - 1);
+  }
+  int sub = static_cast<int>(value >> octave) & (kSubBuckets - 1);
+  return octave * kSubBuckets + sub;
+}
+
+int64_t Histogram::BucketMidpoint(int index) {
+  int octave = index / kSubBuckets;
+  int sub = index % kSubBuckets;
+  if (octave == 0) return sub;
+  int64_t lo = static_cast<int64_t>(sub) << octave;
+  int64_t width = static_cast<int64_t>(1) << octave;
+  return lo + width / 2;
+}
+
+void Histogram::Record(int64_t value) { RecordMultiple(value, 1); }
+
+void Histogram::RecordMultiple(int64_t value, int64_t count) {
+  if (count <= 0) return;
+  if (value < 0) value = 0;
+  buckets_[BucketIndex(value)] += count;
+  count_ += count;
+  max_ = std::max(max_, value);
+  min_ = std::min(min_, value);
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+  sum_sq_ += static_cast<double>(value) * static_cast<double>(value) *
+             static_cast<double>(count);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  max_ = std::max(max_, other.max_);
+  min_ = std::min(min_, other.min_);
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  max_ = 0;
+  min_ = std::numeric_limits<int64_t>::max();
+  sum_ = 0;
+  sum_sq_ = 0;
+}
+
+int64_t Histogram::min() const { return count_ == 0 ? 0 : min_; }
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::StdDev() const {
+  if (count_ == 0) return 0.0;
+  double n = static_cast<double>(count_);
+  double mean = sum_ / n;
+  double var = sum_sq_ / n - mean * mean;
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0) return min();
+  if (p >= 100) return max_;
+  int64_t rank = static_cast<int64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank < 1) rank = 1;
+  int64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return std::min(BucketMidpoint(static_cast<int>(i)), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%lld mean=%.1f p50=%lld p90=%lld p99=%lld "
+                "p99.9=%lld max=%lld",
+                static_cast<long long>(count_), Mean(),
+                static_cast<long long>(Percentile(50)),
+                static_cast<long long>(Percentile(90)),
+                static_cast<long long>(Percentile(99)),
+                static_cast<long long>(Percentile(99.9)),
+                static_cast<long long>(max_));
+  return buf;
+}
+
+}  // namespace aodb

@@ -1,0 +1,63 @@
+// Log-bucketed latency histogram (HdrHistogram-style) for benchmark
+// reporting: constant-time record, approximate percentiles with bounded
+// relative error, mergeable across load-generator clients.
+
+#ifndef AODB_COMMON_HISTOGRAM_H_
+#define AODB_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aodb {
+
+/// Histogram over non-negative integer values (typically latency in
+/// microseconds). Buckets grow geometrically: 64 linear sub-buckets per
+/// power of two, giving <= ~1.6% relative error on percentile queries.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one observation. Negative values are clamped to zero.
+  void Record(int64_t value);
+
+  /// Records `count` observations of the same value.
+  void RecordMultiple(int64_t value, int64_t count);
+
+  /// Adds all observations of `other` into this histogram.
+  void Merge(const Histogram& other);
+
+  /// Removes all observations.
+  void Reset();
+
+  int64_t count() const { return count_; }
+  int64_t min() const;
+  int64_t max() const { return max_; }
+  double Mean() const;
+  double StdDev() const;
+
+  /// Value at percentile p in [0, 100]. Returns 0 for an empty histogram.
+  int64_t Percentile(double p) const;
+
+  /// One-line summary: count, mean, p50/p90/p99/p99.9, max.
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 6;  // 64 sub-buckets per octave.
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kOctaves = 40;       // covers up to ~2^40 us.
+
+  static int BucketIndex(int64_t value);
+  static int64_t BucketMidpoint(int index);
+
+  std::vector<int64_t> buckets_;
+  int64_t count_;
+  int64_t max_;
+  int64_t min_;
+  double sum_;
+  double sum_sq_;
+};
+
+}  // namespace aodb
+
+#endif  // AODB_COMMON_HISTOGRAM_H_

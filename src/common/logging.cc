@@ -1,0 +1,58 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdlib>
+#include <mutex>
+
+namespace aodb {
+
+namespace {
+
+std::atomic<int> g_level{[] {
+  const char* env = std::getenv("AODB_LOG_LEVEL");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v >= 0 && v <= 4) return v;
+  }
+  return static_cast<int>(LogLevel::kWarn);
+}()};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
+                ...) {
+  static std::mutex mu;
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  char msg[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, ap);
+  va_end(ap);
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, msg);
+}
+
+}  // namespace aodb

@@ -1,0 +1,39 @@
+// Minimal leveled logger. Off by default above WARN to keep benchmark output
+// clean; level configurable via AODB_LOG_LEVEL env var (0=debug .. 4=off).
+
+#ifndef AODB_COMMON_LOGGING_H_
+#define AODB_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <string>
+
+namespace aodb {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Global minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// printf-style log emission; prefer the AODB_LOG macro.
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
+                ...) __attribute__((format(printf, 4, 5)));
+
+}  // namespace aodb
+
+#define AODB_LOG(level, ...)                                              \
+  do {                                                                    \
+    if (static_cast<int>(::aodb::LogLevel::k##level) >=                   \
+        static_cast<int>(::aodb::GetLogLevel())) {                        \
+      ::aodb::LogMessage(::aodb::LogLevel::k##level, __FILE__, __LINE__,  \
+                         __VA_ARGS__);                                    \
+    }                                                                     \
+  } while (0)
+
+#endif  // AODB_COMMON_LOGGING_H_

@@ -1,0 +1,75 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aodb {
+
+void Welford::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void Welford::Merge(const Welford& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  int64_t n = count_ + other.count_;
+  double delta = other.mean_ - mean_;
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  mean_ += delta * nb / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = n;
+}
+
+void Welford::Reset() { *this = Welford(); }
+
+double Welford::Variance() const {
+  return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double Welford::StdDev() const { return std::sqrt(Variance()); }
+
+WindowedSeries::WindowedSeries(Micros window_len) : window_len_(window_len) {}
+
+void WindowedSeries::Add(Micros ts, double value) {
+  int64_t idx = ts / window_len_;
+  auto it = std::lower_bound(
+      windows_.begin(), windows_.end(), idx,
+      [](const auto& w, int64_t i) { return w.first < i; });
+  if (it == windows_.end() || it->first != idx) {
+    it = windows_.insert(it, {idx, Welford()});
+  }
+  it->second.Add(value);
+}
+
+std::vector<WindowStats> WindowedSeries::Windows() const {
+  std::vector<WindowStats> out;
+  out.reserve(windows_.size());
+  for (const auto& [idx, agg] : windows_) {
+    out.push_back(WindowStats{idx * window_len_, window_len_, agg});
+  }
+  return out;
+}
+
+std::vector<WindowStats> WindowedSeries::InteriorWindows() const {
+  std::vector<WindowStats> all = Windows();
+  if (all.size() <= 2) return {};
+  return std::vector<WindowStats>(all.begin() + 1, all.end() - 1);
+}
+
+}  // namespace aodb

@@ -1,0 +1,78 @@
+// Streaming statistics used by SHM aggregator actors and the benchmark
+// reporter: Welford online mean/variance, min/max, and fixed-window series
+// aggregation (the paper reports per-minute windows with first/last dropped).
+
+#ifndef AODB_COMMON_STATS_H_
+#define AODB_COMMON_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace aodb {
+
+/// Numerically stable online aggregate: count, min, max, mean, variance
+/// (Welford's algorithm). Mergeable (parallel variance formula).
+class Welford {
+ public:
+  Welford() = default;
+
+  void Add(double x);
+  void Merge(const Welford& other);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const { return mean_; }
+  /// Population variance.
+  double Variance() const;
+  double StdDev() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A single summarized time window, e.g. one hour of sensor readings.
+struct WindowStats {
+  Micros window_start = 0;
+  Micros window_len = 0;
+  Welford agg;
+};
+
+/// Splits a series of (timestamp, value) observations into fixed windows and
+/// summarizes each. Used both by Aggregator actors (hour/day/month levels)
+/// and by the benchmark reporter (1-minute windows).
+class WindowedSeries {
+ public:
+  /// `window_len` must be positive.
+  explicit WindowedSeries(Micros window_len);
+
+  /// Adds an observation; timestamps may arrive slightly out of order but
+  /// windows are keyed purely by timestamp / window_len.
+  void Add(Micros ts, double value);
+
+  /// All non-empty windows in ascending time order.
+  std::vector<WindowStats> Windows() const;
+
+  /// Windows with the first and last dropped (the paper's measurement
+  /// discipline: discard warm-up and partial final window).
+  std::vector<WindowStats> InteriorWindows() const;
+
+  Micros window_len() const { return window_len_; }
+
+ private:
+  Micros window_len_;
+  // Sparse map kept as sorted vector of (window index, stats); the number of
+  // windows per experiment is small.
+  std::vector<std::pair<int64_t, Welford>> windows_;
+};
+
+}  // namespace aodb
+
+#endif  // AODB_COMMON_STATS_H_

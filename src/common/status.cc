@@ -1,0 +1,35 @@
+#include "common/status.h"
+
+namespace aodb {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kTimeout: return "Timeout";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kIoError: return "IoError";
+    case StatusCode::kUnauthorized: return "Unauthorized";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kCancelled: return "Cancelled";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace aodb

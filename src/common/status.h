@@ -1,0 +1,160 @@
+// Status / Result error model used across all public APIs of this library.
+//
+// Following the style of large C++ database systems (RocksDB, Arrow), no
+// exceptions cross public API boundaries; fallible operations return a
+// `Status`, and fallible operations that produce a value return `Result<T>`.
+
+#ifndef AODB_COMMON_STATUS_H_
+#define AODB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <variant>
+
+namespace aodb {
+
+/// Error categories surfaced by the library.
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,
+  kAlreadyExists = 2,
+  kInvalidArgument = 3,
+  kFailedPrecondition = 4,
+  kTimeout = 5,
+  kAborted = 6,          ///< Transaction / workflow aborted (retryable).
+  kUnavailable = 7,      ///< Resource throttled or silo unreachable.
+  kCorruption = 8,       ///< Storage checksum / decode failure.
+  kIoError = 9,
+  kUnauthorized = 10,    ///< Access-control rejection (multi-tenancy).
+  kResourceExhausted = 11,
+  kInternal = 12,
+  kCancelled = 13,
+};
+
+/// Human-readable name of a status code, e.g. "NotFound".
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic status: a code plus an optional message.
+///
+/// The OK status carries no allocation. Construction helpers mirror the
+/// code enum (`Status::NotFound("key ...")`).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+#define AODB_STATUS_CTOR(Name)                       \
+  static Status Name(std::string msg = "") {         \
+    return Status(StatusCode::k##Name, std::move(msg)); \
+  }
+  AODB_STATUS_CTOR(NotFound)
+  AODB_STATUS_CTOR(AlreadyExists)
+  AODB_STATUS_CTOR(InvalidArgument)
+  AODB_STATUS_CTOR(FailedPrecondition)
+  AODB_STATUS_CTOR(Timeout)
+  AODB_STATUS_CTOR(Aborted)
+  AODB_STATUS_CTOR(Unavailable)
+  AODB_STATUS_CTOR(Corruption)
+  AODB_STATUS_CTOR(IoError)
+  AODB_STATUS_CTOR(Unauthorized)
+  AODB_STATUS_CTOR(ResourceExhausted)
+  AODB_STATUS_CTOR(Internal)
+  AODB_STATUS_CTOR(Cancelled)
+#undef AODB_STATUS_CTOR
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsUnauthorized() const { return code_ == StatusCode::kUnauthorized; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// A value or an error. `Result<T>` is the return type of fallible
+/// value-producing operations.
+///
+/// Note: `Result<Status>` is permitted (it is what `Future<Status>` yields);
+/// there the Status is an ordinary *value* and the error channel reports
+/// delivery failures.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit from non-OK status (failure). Constructing from an OK status
+  /// is a programming error. Unavailable when T is itself Status.
+  template <typename S = T,
+            typename = std::enable_if_t<!std::is_same_v<S, Status>>>
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  /// Builds an error result explicitly (works for any T, including Status).
+  static Result<T> FromError(Status status) {
+    assert(!status.ok());
+    Result<T> r;
+    r.status_ = std::move(status);
+    return r;
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; OK when the result holds a value.
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& value_or(const T& fallback) const {
+    return ok() ? *value_ : fallback;
+  }
+
+ private:
+  Result() = default;
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace aodb
+
+/// Propagates a non-OK status from an expression, RocksDB-style.
+#define AODB_RETURN_NOT_OK(expr)                  \
+  do {                                            \
+    ::aodb::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#endif  // AODB_COMMON_STATUS_H_

@@ -1,0 +1,38 @@
+// Column-aligned plain-text table output for the benchmark harness. Every
+// figure bench prints one table whose rows correspond to the series the
+// paper plots.
+
+#ifndef AODB_COMMON_TABLE_PRINTER_H_
+#define AODB_COMMON_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace aodb {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; its size must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string Fmt(int64_t v);
+  static std::string Fmt(double v, int decimals = 2);
+  /// Microseconds rendered as milliseconds with 2 decimals, e.g. "12.34".
+  static std::string FmtMsFromUs(int64_t us);
+
+  /// Writes the table to `out` (default stdout).
+  void Print(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aodb
+
+#endif  // AODB_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,62 @@
+// Synthetic sensor signal generator: trend + periodic component + noise,
+// standing in for the Great Belt Bridge feeds (the paper's own evaluation
+// also simulated its sensors; values only need to exercise the accumulated-
+// change / threshold / aggregate code paths).
+
+#ifndef AODB_LOADGEN_SIGNAL_H_
+#define AODB_LOADGEN_SIGNAL_H_
+
+#include <cmath>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "shm/types.h"
+
+namespace aodb {
+
+/// Deterministic per-channel signal.
+class SignalGenerator {
+ public:
+  /// `channel_seed` individualizes phase and noise per channel.
+  explicit SignalGenerator(uint64_t channel_seed)
+      : rng_(channel_seed),
+        phase_(rng_.Uniform(0, 2 * kPi)),
+        base_(rng_.Uniform(-5, 5)),
+        amplitude_(rng_.Uniform(0.5, 2.0)),
+        period_us_(static_cast<Micros>(rng_.Uniform(20, 120)) *
+                   kMicrosPerSecond) {}
+
+  /// Value of the signal at time `ts`.
+  double At(Micros ts) {
+    double angle =
+        2 * kPi * static_cast<double>(ts) / static_cast<double>(period_us_) +
+        phase_;
+    return base_ + amplitude_ * std::sin(angle) + rng_.Normal(0, 0.05);
+  }
+
+  /// A packet of `n` points sampled at `rate_hz` ending at `now`.
+  std::vector<shm::DataPoint> Packet(Micros now, int n, double rate_hz) {
+    std::vector<shm::DataPoint> points;
+    points.reserve(n);
+    Micros step = static_cast<Micros>(1e6 / rate_hz);
+    Micros first = now - step * (n - 1);
+    for (int i = 0; i < n; ++i) {
+      Micros ts = first + i * step;
+      points.push_back(shm::DataPoint{ts, At(ts)});
+    }
+    return points;
+  }
+
+ private:
+  static constexpr double kPi = 3.14159265358979323846;
+  Rng rng_;
+  double phase_;
+  double base_;
+  double amplitude_;
+  Micros period_us_;
+};
+
+}  // namespace aodb
+
+#endif  // AODB_LOADGEN_SIGNAL_H_

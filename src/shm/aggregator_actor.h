@@ -1,0 +1,56 @@
+// Aggregator actors: one per (channel, level), computing statistical
+// aggregates over fixed windows and feeding the next level (hour -> day ->
+// month). Modeled as actors because levels can aggregate in parallel
+// (paper §4.2); placed prefer-local next to their channel (paper §5).
+
+#ifndef AODB_SHM_AGGREGATOR_ACTOR_H_
+#define AODB_SHM_AGGREGATOR_ACTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "actor/actor_ref.h"
+#include "actor/runtime.h"
+#include "common/stats.h"
+#include "shm/types.h"
+
+namespace aodb {
+namespace shm {
+
+/// Windowed statistics aggregator. Keeps a bounded map of recent windows
+/// (Welford per window); when a window closes (a point arrives beyond its
+/// end), its mean is forwarded to the parent aggregator as a data point.
+class AggregatorActor : public ActorBase {
+ public:
+  static constexpr char kTypeName[] = "shm.Aggregator";
+  static constexpr size_t kMaxWindows = 512;
+
+  /// Sets the window length and optional next-level aggregator.
+  void Configure(Micros window_len_us, std::string parent_key) {
+    window_len_us_ = window_len_us;
+    parent_key_ = std::move(parent_key);
+  }
+
+  /// Adds a batch of points (from the channel or from the child level).
+  void Update(std::vector<DataPoint> points);
+
+  /// Aggregates whose window overlaps [from, to), ascending.
+  std::vector<AggregateView> Query(Micros from, Micros to);
+
+  int64_t WindowCount() { return static_cast<int64_t>(windows_.size()); }
+
+ private:
+  void CloseWindowsBefore(int64_t window_idx);
+
+  Micros window_len_us_ = kMicrosPerSecond;  // Overridden by Configure.
+  std::string parent_key_;
+  std::map<int64_t, Welford> windows_;
+  int64_t highest_seen_window_ = -1;
+  int64_t last_forwarded_ = -1;
+};
+
+}  // namespace shm
+}  // namespace aodb
+
+#endif  // AODB_SHM_AGGREGATOR_ACTOR_H_

@@ -1,0 +1,77 @@
+// Organization actors: the multi-tenancy root of the SHM platform. Per the
+// paper's granularity principle (§4.2), organizations are actors while
+// their projects are passive non-actor objects encapsulated inside the
+// organization's state.
+
+#ifndef AODB_SHM_ORGANIZATION_ACTOR_H_
+#define AODB_SHM_ORGANIZATION_ACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "actor/actor_ref.h"
+#include "actor/runtime.h"
+#include "shm/channel_actor.h"
+#include "shm/types.h"
+#include "storage/persistent_actor.h"
+
+namespace aodb {
+namespace shm {
+
+/// A construction project (e.g. one bridge) — a non-actor object owned by
+/// its organization (aggregation relationship in Figure 4).
+struct Project {
+  std::string id;
+  std::string name;
+  std::vector<std::string> sensor_keys;
+
+  void Encode(BufWriter* w) const;
+  Status Decode(BufReader* r);
+};
+
+/// Durable organization state: projects, users, and the flat channel list
+/// used by live-data fan-out.
+struct OrganizationState {
+  std::string name;
+  std::vector<Project> projects;
+  std::vector<std::string> user_keys;
+  std::vector<std::string> channel_keys;
+
+  void Encode(BufWriter* w) const;
+  Status Decode(BufReader* r);
+};
+
+/// Organization (tenant) actor.
+class OrganizationActor : public PersistentActor<OrganizationState> {
+ public:
+  static constexpr char kTypeName[] = "shm.Organization";
+
+  explicit OrganizationActor(PersistenceOptions persistence = {})
+      : PersistentActor<OrganizationState>(std::move(persistence)) {}
+
+  Status SetName(std::string name);
+  Status AddProject(std::string id, std::string name);
+  /// Registers a sensor under a project and its channels for live fan-out.
+  Status AddSensor(std::string project_id, std::string sensor_key,
+                   std::vector<std::string> channel_keys);
+  Status AddUser(std::string user_key);
+
+  /// Live-data query (functional requirement 7): the latest value of every
+  /// channel of this organization. Requires the caller principal's tenant
+  /// to be this organization (or role "admin"); violations fail with
+  /// Unauthorized.
+  Future<std::vector<LiveDataEntry>> LiveData();
+
+  /// Introspection for tests and examples.
+  std::vector<std::string> ChannelKeys();
+  std::vector<Project> Projects();
+  int64_t SensorCount();
+
+ private:
+  bool CallerMayRead() const;
+};
+
+}  // namespace shm
+}  // namespace aodb
+
+#endif  // AODB_SHM_ORGANIZATION_ACTOR_H_

@@ -1,0 +1,167 @@
+#include "shm/platform.h"
+
+#include "aodb/index.h"
+#include "aodb/registry.h"
+
+namespace aodb {
+namespace shm {
+
+void ShmPlatform::RegisterTypes(Cluster& cluster,
+                                PersistenceOptions channel_persistence) {
+  cluster.RegisterActorType<OrganizationActor>();
+  cluster.RegisterActorType<UserActor>();
+  cluster.RegisterActorType<AggregatorActor>();
+  cluster.RegisterActorType<RegistryActor>();
+  cluster.RegisterActorType<IndexActor>();
+  cluster.RegisterActorType(
+      SensorActor::kTypeName, [channel_persistence](const ActorId&) {
+        return std::make_unique<SensorActor>(channel_persistence);
+      });
+  cluster.RegisterActorType(
+      PhysicalChannelActor::kTypeName, [channel_persistence](const ActorId&) {
+        return std::make_unique<PhysicalChannelActor>(channel_persistence);
+      });
+  cluster.RegisterActorType(
+      VirtualChannelActor::kTypeName, [channel_persistence](const ActorId&) {
+        return std::make_unique<VirtualChannelActor>(channel_persistence);
+      });
+}
+
+void ShmPlatform::ApplyPaperPlacement(Cluster& cluster) {
+  cluster.SetTypePlacement(OrganizationActor::kTypeName, Placement::kRandom);
+  cluster.SetTypePlacement(UserActor::kTypeName, Placement::kRandom);
+  cluster.SetTypePlacement(SensorActor::kTypeName, Placement::kRandom);
+  cluster.SetTypePlacement(PhysicalChannelActor::kTypeName,
+                           Placement::kPreferLocal);
+  cluster.SetTypePlacement(VirtualChannelActor::kTypeName,
+                           Placement::kPreferLocal);
+  cluster.SetTypePlacement(AggregatorActor::kTypeName,
+                           Placement::kPreferLocal);
+}
+
+Future<Status> ShmPlatform::Setup(const ShmTopology& t) {
+  std::vector<Future<Status>> acks;
+  int orgs = NumOrgs(t);
+  CallOptions cfg;
+  cfg.cost_us = kCostConfigure;
+  for (int o = 0; o < orgs; ++o) {
+    auto org = cluster_->Ref<OrganizationActor>(OrgKey(o));
+    acks.push_back(
+        org.CallWith(cfg, &OrganizationActor::SetName, "Organization " +
+                                                            std::to_string(o)));
+    acks.push_back(org.CallWith(cfg, &OrganizationActor::AddProject,
+                                std::string("p0"),
+                                std::string("Monitoring project")));
+    acks.push_back(
+        org.CallWith(cfg, &OrganizationActor::AddUser, UserKey(o)));
+  }
+  for (int s = 0; s < t.sensors; ++s) {
+    int org = OrgOf(t, s);
+    std::vector<ChannelSpec> specs;
+    std::vector<std::string> org_channel_keys;
+    bool has_virtual = HasVirtual(t, s);
+    std::string virtual_key = has_virtual ? VirtualKey(s) : std::string();
+    for (int c = 0; c < t.channels_per_sensor; ++c) {
+      ChannelSpec spec;
+      spec.key = ChannelKey(s, c);
+      spec.config.org_key = OrgKey(org);
+      spec.config.aggregator_key = HourAggKey(spec.key);
+      spec.config.virtual_key = virtual_key;
+      spec.config.window_capacity = t.window_capacity;
+      if (t.enable_alerts) {
+        spec.config.alert_user_key = UserKey(org);
+        spec.config.threshold_high = t.threshold_high;
+        spec.config.has_threshold_high = true;
+      }
+      spec.config.indexed = t.enable_indexing;
+      spec.aggs = AggChainSpec{HourAggKey(spec.key), DayAggKey(spec.key),
+                               MonthAggKey(spec.key), t.hour_window_us,
+                               t.day_window_us, t.month_window_us};
+      org_channel_keys.push_back(spec.key);
+      specs.push_back(std::move(spec));
+    }
+    VirtualSpec vspec;
+    if (has_virtual) {
+      vspec.key = virtual_key;
+      vspec.config.org_key = OrgKey(org);
+      vspec.config.aggregator_key = HourAggKey(virtual_key);
+      for (int c = 0; c < t.channels_per_sensor; ++c) {
+        vspec.config.source_keys.push_back(ChannelKey(s, c));
+      }
+      vspec.config.window_capacity = t.window_capacity;
+      vspec.aggs = AggChainSpec{HourAggKey(virtual_key), DayAggKey(virtual_key),
+                                MonthAggKey(virtual_key), t.hour_window_us,
+                                t.day_window_us, t.month_window_us};
+      org_channel_keys.push_back(virtual_key);
+    }
+    acks.push_back(cluster_->Ref<SensorActor>(SensorKey(s))
+                       .CallWith(cfg, &SensorActor::SetupChannels, OrgKey(org),
+                                 std::move(specs), has_virtual,
+                                 std::move(vspec)));
+    acks.push_back(cluster_->Ref<OrganizationActor>(OrgKey(org))
+                       .CallWith(cfg, &OrganizationActor::AddSensor,
+                                 std::string("p0"), SensorKey(s),
+                                 std::move(org_channel_keys)));
+  }
+  Promise<Status> done;
+  WhenAll(acks).OnReady([done](Result<std::vector<Result<Status>>>&& r) {
+    if (!r.ok()) {
+      done.SetValue(r.status());
+      return;
+    }
+    for (const auto& ack : r.value()) {
+      Status st = ack.ok() ? ack.value() : ack.status();
+      if (!st.ok()) {
+        done.SetValue(st);
+        return;
+      }
+    }
+    done.SetValue(Status::OK());
+  });
+  return done.GetFuture();
+}
+
+Future<Status> ShmPlatform::Insert(const ShmTopology& t, int sensor,
+                                   std::vector<DataPoint> points) {
+  CallOptions opts;
+  opts.cost_us = kCostSensorInsert;
+  opts.request_bytes = static_cast<int64_t>(points.size()) * kBytesPerPoint;
+  return cluster_->Ref<SensorActor>(SensorKey(sensor))
+      .WithPrincipal(TenantOf(t, sensor, false))
+      .CallWith(opts, &SensorActor::Insert, std::move(points));
+}
+
+Future<std::vector<LiveDataEntry>> ShmPlatform::LiveData(const ShmTopology& t,
+                                                         int org) {
+  CallOptions opts;
+  opts.cost_us = kCostOrgLiveFanout;
+  // Response carries one entry per channel of the organization.
+  opts.response_bytes =
+      static_cast<int64_t>(t.sensors_per_org) * t.channels_per_sensor * 24;
+  return cluster_->Ref<OrganizationActor>(OrgKey(org))
+      .WithPrincipal(TenantOf(t, org, true))
+      .CallWith(opts, &OrganizationActor::LiveData);
+}
+
+Future<RangeReply> ShmPlatform::RawRange(const ShmTopology& t, int sensor,
+                                         int channel, Micros from, Micros to) {
+  CallOptions opts;
+  opts.cost_us = kCostChannelRange;
+  opts.response_bytes = 100 * kBytesPerPoint;
+  return cluster_->Ref<PhysicalChannelActor>(ChannelKey(sensor, channel))
+      .WithPrincipal(TenantOf(t, sensor, false))
+      .CallWith(opts, &PhysicalChannelActor::Range, from, to);
+}
+
+Future<std::vector<AggregateView>> ShmPlatform::HourAggregates(
+    const ShmTopology& t, int sensor, int channel, Micros from, Micros to) {
+  CallOptions opts;
+  opts.cost_us = kCostChannelRange;
+  return cluster_
+      ->Ref<AggregatorActor>(HourAggKey(ChannelKey(sensor, channel)))
+      .WithPrincipal(TenantOf(t, sensor, false))
+      .CallWith(opts, &AggregatorActor::Query, from, to);
+}
+
+}  // namespace shm
+}  // namespace aodb

@@ -1,0 +1,135 @@
+// SHM platform facade: registers the actor types, applies the paper's
+// placement policy (random for organizations/sensors, prefer-local for
+// channels and aggregators — §5 "Virtual actor durability and deployment"),
+// builds the experiment topology of §6.1 (100 sensors -> 1 organization,
+// 2 physical channels per sensor, every 10th sensor a virtual channel
+// summing its two channels), and exposes the three client operations the
+// benchmark exercises: data insertion, organization live data, raw range.
+
+#ifndef AODB_SHM_PLATFORM_H_
+#define AODB_SHM_PLATFORM_H_
+
+#include <string>
+#include <vector>
+
+#include "actor/actor_ref.h"
+#include "actor/runtime.h"
+#include "shm/aggregator_actor.h"
+#include "shm/channel_actor.h"
+#include "shm/organization_actor.h"
+#include "shm/sensor_actor.h"
+#include "shm/types.h"
+#include "shm/user_actor.h"
+
+namespace aodb {
+namespace shm {
+
+/// Topology parameters; defaults reproduce the paper's §6.1 environment.
+struct ShmTopology {
+  int sensors = 100;
+  int sensors_per_org = 100;
+  int channels_per_sensor = 2;
+  /// Every Nth sensor additionally has a virtual channel summing its
+  /// physical channels. 0 disables virtual channels.
+  int virtual_every = 10;
+  int window_capacity = 1024;
+  /// Statistical aggregation hierarchy (compressed from hour/day/month so
+  /// short experiments exercise all levels).
+  Micros hour_window_us = 10 * kMicrosPerSecond;
+  Micros day_window_us = 60 * kMicrosPerSecond;
+  Micros month_window_us = 600 * kMicrosPerSecond;
+  /// Alerting: when enabled, each channel alerts its organization's user
+  /// above this value.
+  bool enable_alerts = false;
+  double threshold_high = 0;
+  /// Register physical channels in the AODB type registry and the
+  /// channels-by-organization index, enabling declarative queries
+  /// (aodb/query.h) over channel state.
+  bool enable_indexing = false;
+};
+
+/// Client-side facade over the SHM actor database.
+class ShmPlatform {
+ public:
+  explicit ShmPlatform(Cluster* cluster) : cluster_(cluster) {}
+
+  /// Registers every SHM actor type. `channel_persistence` configures the
+  /// durability policy of sensors/channels (the §5 spectrum).
+  static void RegisterTypes(Cluster& cluster,
+                            PersistenceOptions channel_persistence = {});
+
+  /// Applies the paper's placement: channels and aggregators prefer-local,
+  /// everything else random.
+  static void ApplyPaperPlacement(Cluster& cluster);
+
+  // --- Key naming scheme ---------------------------------------------------
+  static std::string OrgKey(int org) { return "org-" + std::to_string(org); }
+  static std::string UserKey(int org) { return "user-" + std::to_string(org); }
+  static std::string SensorKey(int sensor) {
+    return "s" + std::to_string(sensor);
+  }
+  static std::string ChannelKey(int sensor, int channel) {
+    return SensorKey(sensor) + ".c" + std::to_string(channel);
+  }
+  static std::string VirtualKey(int sensor) { return SensorKey(sensor) + ".v"; }
+  static std::string HourAggKey(const std::string& channel_key) {
+    return channel_key + ".h";
+  }
+  static std::string DayAggKey(const std::string& channel_key) {
+    return channel_key + ".d";
+  }
+  static std::string MonthAggKey(const std::string& channel_key) {
+    return channel_key + ".m";
+  }
+
+  /// Creates the whole topology. Completes when every organization, user,
+  /// sensor, channel, virtual channel, and aggregator is configured.
+  Future<Status> Setup(const ShmTopology& topology);
+
+  /// True if `sensor` has a virtual channel under `topology`.
+  static bool HasVirtual(const ShmTopology& t, int sensor) {
+    return t.virtual_every > 0 && sensor % t.virtual_every == 0;
+  }
+
+  // --- Client operations (the benchmark's three request kinds) -------------
+
+  /// Inserts one logger packet for `sensor` (tenant-stamped).
+  Future<Status> Insert(const ShmTopology& t, int sensor,
+                        std::vector<DataPoint> points);
+
+  /// Live data of all channels of organization `org`.
+  Future<std::vector<LiveDataEntry>> LiveData(const ShmTopology& t, int org);
+
+  /// Raw window of one physical channel in [from, to).
+  Future<RangeReply> RawRange(const ShmTopology& t, int sensor, int channel,
+                              Micros from, Micros to);
+
+  /// Hour-level aggregates of a channel in [from, to).
+  Future<std::vector<AggregateView>> HourAggregates(const ShmTopology& t,
+                                                    int sensor, int channel,
+                                                    Micros from, Micros to);
+
+  Cluster& cluster() { return *cluster_; }
+
+  /// Organization index owning `sensor`.
+  static int OrgOf(const ShmTopology& t, int sensor) {
+    return sensor / t.sensors_per_org;
+  }
+  static int NumOrgs(const ShmTopology& t) {
+    return (t.sensors + t.sensors_per_org - 1) / t.sensors_per_org;
+  }
+
+ private:
+  Principal TenantOf(const ShmTopology& t, int sensor_or_org,
+                     bool is_org) const {
+    int org = is_org ? sensor_or_org : OrgOf(t, sensor_or_org);
+    return Principal{OrgKey(org), "user"};
+  }
+
+  Cluster* cluster_;
+};
+
+}  // namespace shm
+}  // namespace aodb
+
+#endif  // AODB_SHM_PLATFORM_H_

@@ -1,0 +1,104 @@
+// Sensor actors: one per physical sensor (paper §4.2 models Sensor and
+// Sensor Channel as separate actors because sensors are active entities
+// that own multiple channels). The sensor actor receives logger packets
+// and splits them across its channels, awaiting their acknowledgements.
+
+#ifndef AODB_SHM_SENSOR_ACTOR_H_
+#define AODB_SHM_SENSOR_ACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "actor/actor_ref.h"
+#include "actor/runtime.h"
+#include "shm/channel_actor.h"
+#include "shm/types.h"
+#include "storage/persistent_actor.h"
+
+namespace aodb {
+namespace shm {
+
+/// Durable state of a sensor: its position and the keys of its channels.
+struct SensorState {
+  std::string org_key;
+  std::vector<std::string> channel_keys;
+  double position_x = 0;
+  double position_y = 0;
+  int64_t packets = 0;
+
+  void Encode(BufWriter* w) const {
+    w->PutString(org_key);
+    w->PutVector(channel_keys,
+                 [](BufWriter& bw, const std::string& s) { bw.PutString(s); });
+    w->PutDouble(position_x);
+    w->PutDouble(position_y);
+    w->PutVarint(static_cast<uint64_t>(packets));
+  }
+  Status Decode(BufReader* r) {
+    AODB_RETURN_NOT_OK(r->GetString(&org_key));
+    AODB_RETURN_NOT_OK(r->GetVector(
+        &channel_keys,
+        [](BufReader& br, std::string* s) { return br.GetString(s); }));
+    AODB_RETURN_NOT_OK(r->GetDouble(&position_x));
+    AODB_RETURN_NOT_OK(r->GetDouble(&position_y));
+    uint64_t p = 0;
+    AODB_RETURN_NOT_OK(r->GetVarint(&p));
+    packets = static_cast<int64_t>(p);
+    return Status::OK();
+  }
+};
+
+/// Everything a sensor needs to configure one of its physical channels.
+struct ChannelSpec {
+  std::string key;
+  ChannelConfig config;
+  AggChainSpec aggs;
+};
+
+/// Configuration of a sensor's virtual channel.
+struct VirtualSpec {
+  std::string key;
+  VirtualChannelConfig config;
+  AggChainSpec aggs;
+};
+
+/// Physical sensor (data logger endpoint) actor.
+class SensorActor : public PersistentActor<SensorState> {
+ public:
+  static constexpr char kTypeName[] = "shm.Sensor";
+
+  explicit SensorActor(PersistenceOptions persistence = {})
+      : PersistentActor<SensorState>(std::move(persistence)) {}
+
+  /// Installs the sensor's organization and channel wiring.
+  Status Configure(std::string org_key, std::vector<std::string> channel_keys);
+
+  /// Configures the sensor AND its channels / virtual channel / aggregator
+  /// chains, issuing the channel configuration calls from this sensor's
+  /// silo so that prefer-local placement co-locates the whole pipeline
+  /// (paper §5). Completes when all channels acknowledged.
+  Future<Status> SetupChannels(std::string org_key,
+                               std::vector<ChannelSpec> channels,
+                               bool has_virtual, VirtualSpec virtual_spec);
+
+  /// Relocation of the physical sensor (sensors are active entities that
+  /// may be moved; §4.2).
+  void SetPosition(double x, double y);
+
+  /// Ingests one logger packet: `points` are distributed round-robin-block
+  /// across the sensor's channels (with 2 channels and 20 points, the first
+  /// 10 go to channel 0, the rest to channel 1 — the paper's layout).
+  /// Completes when every channel has acknowledged its sub-batch.
+  Future<Status> Insert(std::vector<DataPoint> points);
+
+  int64_t Packets();
+  std::vector<std::string> ChannelKeys();
+
+ private:
+  friend class ShmPlatform;
+};
+
+}  // namespace shm
+}  // namespace aodb
+
+#endif  // AODB_SHM_SENSOR_ACTOR_H_

@@ -1,0 +1,48 @@
+// User actors: recipients of customized threshold alerts (functional
+// requirement 5). One actor per platform user; the alert inbox is capped.
+
+#ifndef AODB_SHM_USER_ACTOR_H_
+#define AODB_SHM_USER_ACTOR_H_
+
+#include <deque>
+#include <vector>
+
+#include "actor/runtime.h"
+#include "shm/types.h"
+
+namespace aodb {
+namespace shm {
+
+/// A platform user (engineer / analyst / maintenance staff of an
+/// organization). Receives alerts from sensor channels it subscribes to.
+class UserActor : public ActorBase {
+ public:
+  static constexpr char kTypeName[] = "shm.User";
+  static constexpr size_t kMaxInbox = 1000;
+
+  /// Appends an alert to the inbox (oldest dropped beyond the cap).
+  void Notify(AlertEvent alert) {
+    if (inbox_.size() >= kMaxInbox) inbox_.pop_front();
+    inbox_.push_back(std::move(alert));
+    ++total_alerts_;
+  }
+
+  /// Returns and clears the unread alerts.
+  std::vector<AlertEvent> DrainAlerts() {
+    std::vector<AlertEvent> out(inbox_.begin(), inbox_.end());
+    inbox_.clear();
+    return out;
+  }
+
+  /// Alerts received over this activation's lifetime.
+  int64_t TotalAlerts() { return total_alerts_; }
+
+ private:
+  std::deque<AlertEvent> inbox_;
+  int64_t total_alerts_ = 0;
+};
+
+}  // namespace shm
+}  // namespace aodb
+
+#endif  // AODB_SHM_USER_ACTOR_H_

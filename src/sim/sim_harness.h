@@ -1,0 +1,85 @@
+// Bundles a simulated cluster: the event scheduler, one SimExecutor per
+// silo (modeling that server's vCPUs), a client-node executor, and the
+// Cluster wired over them. The same application code that runs on real
+// thread pools runs here in virtual time.
+
+#ifndef AODB_SIM_SIM_HARNESS_H_
+#define AODB_SIM_SIM_HARNESS_H_
+
+#include <memory>
+#include <vector>
+
+#include "actor/cluster.h"
+#include "sim/sim_executor.h"
+#include "sim/sim_scheduler.h"
+
+namespace aodb {
+
+/// Owner of a simulation-mode cluster.
+class SimHarness {
+ public:
+  explicit SimHarness(const RuntimeOptions& options,
+                      SystemKv* system_kv = nullptr) {
+    silo_execs_.reserve(options.num_silos);
+    std::vector<Executor*> execs;
+    for (int i = 0; i < options.num_silos; ++i) {
+      silo_execs_.push_back(std::make_unique<SimExecutor>(
+          &scheduler_, options.workers_per_silo));
+      execs.push_back(silo_execs_.back().get());
+    }
+    client_exec_ = std::make_unique<SimExecutor>(&scheduler_, 0);
+    cluster_ = std::make_unique<Cluster>(options, std::move(execs),
+                                         client_exec_.get(), system_kv);
+  }
+
+  Cluster& cluster() { return *cluster_; }
+  SimScheduler& scheduler() { return scheduler_; }
+  SimExecutor* client_executor() { return client_exec_.get(); }
+  SimExecutor* silo_executor(SiloId id) { return silo_execs_[id].get(); }
+
+  Micros Now() const { return scheduler_.Now(); }
+
+  /// Advances virtual time to `t`, processing all due events.
+  int64_t RunUntil(Micros t) { return scheduler_.RunUntil(t); }
+  /// Advances virtual time by `delta`.
+  int64_t RunFor(Micros delta) {
+    return scheduler_.RunUntil(scheduler_.Now() + delta);
+  }
+  /// Drains every pending event (careful with periodic timers/reminders,
+  /// which keep the queue non-empty forever).
+  int64_t RunAll(int64_t max_events = -1) {
+    return scheduler_.RunAll(max_events);
+  }
+
+  /// Mean CPU utilization across all silos since simulation start.
+  double MeanUtilization() const {
+    if (silo_execs_.empty()) return 0.0;
+    double total = 0;
+    for (const auto& e : silo_execs_) total += e->Utilization();
+    return total / static_cast<double>(silo_execs_.size());
+  }
+
+ private:
+  SimScheduler scheduler_;
+  std::vector<std::unique_ptr<SimExecutor>> silo_execs_;
+  std::unique_ptr<SimExecutor> client_exec_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+/// Advances virtual time in `step` increments until `future` is ready or
+/// `max_wait` virtual time has elapsed. Returns true if the future became
+/// ready. Unlike RunFor, the clock stops at (about) the completion time,
+/// so `harness.Now()` can be used to measure virtual latency.
+template <typename T>
+bool RunUntilReady(SimHarness& harness, const Future<T>& future,
+                   Micros max_wait, Micros step = 10 * kMicrosPerMilli) {
+  Micros deadline = harness.Now() + max_wait;
+  while (!future.Ready() && harness.Now() < deadline) {
+    harness.RunFor(step);
+  }
+  return future.Ready();
+}
+
+}  // namespace aodb
+
+#endif  // AODB_SIM_SIM_HARNESS_H_

@@ -1,0 +1,89 @@
+// Deterministic discrete-event scheduler: the virtual-time engine behind
+// the figure benchmarks. Single-threaded by design — all "parallelism" is
+// modeled by virtual CPU workers in SimExecutor, which makes runs exactly
+// reproducible on any host (including the 1-core machine this reproduction
+// targets; see DESIGN.md).
+
+#ifndef AODB_SIM_SIM_SCHEDULER_H_
+#define AODB_SIM_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace aodb {
+
+/// Virtual-time event loop. Not thread-safe: events must only be scheduled
+/// from the driving thread or from within event callbacks.
+class SimScheduler {
+ public:
+  explicit SimScheduler(Micros start = 0) : clock_(start) {}
+
+  Micros Now() const { return clock_.Now(); }
+  ManualClock* clock() { return &clock_; }
+
+  /// Schedules `fn` at absolute virtual time `t` (clamped to now).
+  void At(Micros t, std::function<void()> fn) {
+    if (t < Now()) t = Now();
+    events_.push(Event{t, seq_++, std::move(fn)});
+  }
+
+  /// Schedules `fn` `delay` microseconds from now.
+  void After(Micros delay, std::function<void()> fn) {
+    At(Now() + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Processes events with time <= horizon in (time, insertion) order,
+  /// advancing the clock to each event's time, then to the horizon.
+  /// Returns the number of events processed.
+  int64_t RunUntil(Micros horizon) {
+    int64_t processed = 0;
+    while (!events_.empty() && events_.top().time <= horizon) {
+      Event ev = std::move(const_cast<Event&>(events_.top()));
+      events_.pop();
+      clock_.Set(ev.time);
+      ev.fn();
+      ++processed;
+    }
+    if (horizon > Now()) clock_.Set(horizon);
+    return processed;
+  }
+
+  /// Drains the queue completely (or up to max_events if >= 0).
+  int64_t RunAll(int64_t max_events = -1) {
+    int64_t processed = 0;
+    while (!events_.empty() &&
+           (max_events < 0 || processed < max_events)) {
+      Event ev = std::move(const_cast<Event&>(events_.top()));
+      events_.pop();
+      clock_.Set(ev.time);
+      ev.fn();
+      ++processed;
+    }
+    return processed;
+  }
+
+  bool empty() const { return events_.empty(); }
+  size_t pending() const { return events_.size(); }
+
+ private:
+  struct Event {
+    Micros time;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+
+  ManualClock clock_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace aodb
+
+#endif  // AODB_SIM_SIM_SCHEDULER_H_

@@ -1,0 +1,145 @@
+#include "storage/cloud_kv.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aodb {
+
+Micros TokenBucket::Reserve(Micros now, double units) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!initialized_) {
+    tokens_ = burst_;
+    last_refill_ = now;
+    initialized_ = true;
+  }
+  if (now > last_refill_) {
+    tokens_ = std::min(burst_,
+                       tokens_ + static_cast<double>(now - last_refill_) *
+                                     rate_per_us_);
+    last_refill_ = now;
+  }
+  tokens_ -= units;
+  if (tokens_ >= 0) return 0;
+  // Deficit: the reservation becomes available once refills cover it.
+  return static_cast<Micros>(std::ceil(-tokens_ / rate_per_us_));
+}
+
+void TokenBucket::Refund(double units) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tokens_ = std::min(burst_, tokens_ + units);
+}
+
+CloudKvStateStorage::CloudKvStateStorage(KvStore* backing,
+                                         const CloudKvOptions& options)
+    : backing_(backing),
+      options_(options),
+      write_bucket_(options.write_units_per_sec,
+                    options.write_units_per_sec),  // 1s of burst.
+      read_bucket_(options.read_units_per_sec, options.read_units_per_sec),
+      rng_(options.seed) {}
+
+double CloudKvStateStorage::UnitsFor(int64_t bytes) const {
+  int64_t units = (bytes + options_.unit_bytes - 1) / options_.unit_bytes;
+  return static_cast<double>(std::max<int64_t>(1, units));
+}
+
+Micros CloudKvStateStorage::SampleLatency() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<Micros>(
+      rng_.LogNormal(options_.latency_mu, options_.latency_sigma));
+}
+
+Future<Status> CloudKvStateStorage::Write(const std::string& grain_key,
+                                          std::string bytes, Executor* exec) {
+  double units = UnitsFor(static_cast<int64_t>(bytes.size()));
+  Micros now = exec->clock()->Now();
+  Micros wait = write_bucket_.Reserve(now, units);
+  if (wait > options_.max_throttle_wait_us) {
+    write_bucket_.Refund(units);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++throttled_;
+    }
+    return Future<Status>::FromError(
+        Status::Unavailable("write capacity exceeded"));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++writes_;
+  }
+  Micros delay = wait + SampleLatency();
+  Promise<Status> promise;
+  KvStore* backing = backing_;
+  std::string key = "grain/" + grain_key;
+  exec->PostAfter(delay, [backing, key = std::move(key),
+                          bytes = std::move(bytes), promise] {
+    promise.SetValue(backing->Put(key, bytes));
+  });
+  return promise.GetFuture();
+}
+
+Future<std::string> CloudKvStateStorage::Read(const std::string& grain_key,
+                                              Executor* exec) {
+  Micros now = exec->clock()->Now();
+  Micros wait = read_bucket_.Reserve(now, 1.0);
+  if (wait > options_.max_throttle_wait_us) {
+    read_bucket_.Refund(1.0);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++throttled_;
+    }
+    return Future<std::string>::FromError(
+        Status::Unavailable("read capacity exceeded"));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++reads_;
+  }
+  Micros delay = wait + SampleLatency();
+  Promise<std::string> promise;
+  KvStore* backing = backing_;
+  std::string key = "grain/" + grain_key;
+  exec->PostAfter(delay, [backing, key = std::move(key), promise] {
+    Result<std::string> r = backing->Get(key);
+    if (r.ok()) {
+      promise.SetValue(std::move(r).value());
+    } else {
+      promise.SetError(r.status());
+    }
+  });
+  return promise.GetFuture();
+}
+
+Future<Status> CloudKvStateStorage::Clear(const std::string& grain_key,
+                                          Executor* exec) {
+  Micros now = exec->clock()->Now();
+  Micros wait = write_bucket_.Reserve(now, 1.0);
+  if (wait > options_.max_throttle_wait_us) {
+    write_bucket_.Refund(1.0);
+    return Future<Status>::FromError(
+        Status::Unavailable("write capacity exceeded"));
+  }
+  Micros delay = wait + SampleLatency();
+  Promise<Status> promise;
+  KvStore* backing = backing_;
+  std::string key = "grain/" + grain_key;
+  exec->PostAfter(delay, [backing, key = std::move(key), promise] {
+    promise.SetValue(backing->Delete(key));
+  });
+  return promise.GetFuture();
+}
+
+int64_t CloudKvStateStorage::writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writes_;
+}
+int64_t CloudKvStateStorage::reads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reads_;
+}
+int64_t CloudKvStateStorage::throttled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return throttled_;
+}
+
+}  // namespace aodb

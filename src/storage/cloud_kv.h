@@ -1,0 +1,94 @@
+// Simulated managed cloud KV service (the role DynamoDB plays in the
+// paper's deployment): provisioned read/write capacity enforced by token
+// buckets, log-normal request latency, and optional throttling errors when
+// sustained load exceeds capacity. Wraps any synchronous KvStore as the
+// backing medium.
+
+#ifndef AODB_STORAGE_CLOUD_KV_H_
+#define AODB_STORAGE_CLOUD_KV_H_
+
+#include <mutex>
+
+#include "common/rng.h"
+#include "storage/state_storage.h"
+
+namespace aodb {
+
+/// Capacity and latency model of the simulated cloud store.
+struct CloudKvOptions {
+  /// Provisioned write capacity units per second (1 unit = one write of up
+  /// to `unit_bytes`). The paper provisions 200.
+  double write_units_per_sec = 200;
+  /// Provisioned read capacity units per second. The paper provisions 200.
+  double read_units_per_sec = 200;
+  int64_t unit_bytes = 1024;
+  /// Maximum queueing delay a request may absorb waiting for capacity
+  /// before it is rejected with Unavailable (client-visible throttling).
+  Micros max_throttle_wait_us = 2 * kMicrosPerSecond;
+  /// Latency model: exp(Normal(mu, sigma)) microseconds — a log-normal
+  /// centered near e^mu us. Defaults give median ~4 ms, p99 ~15 ms.
+  double latency_mu = 8.3;
+  double latency_sigma = 0.5;
+  uint64_t seed = 7;
+};
+
+/// Token bucket over a (possibly virtual) clock.
+class TokenBucket {
+ public:
+  TokenBucket(double units_per_sec, double burst_units)
+      : rate_per_us_(units_per_sec / 1e6), burst_(burst_units) {}
+
+  /// Reserves `units` at time `now`; returns the wait in microseconds until
+  /// the reservation is available (0 if immediately). The reservation is
+  /// always made — callers reject if the wait exceeds their budget (and
+  /// then must Refund).
+  Micros Reserve(Micros now, double units);
+
+  /// Returns previously reserved units (failed request path).
+  void Refund(double units);
+
+ private:
+  const double rate_per_us_;
+  const double burst_;
+  std::mutex mu_;
+  double tokens_ = 0;
+  Micros last_refill_ = 0;
+  bool initialized_ = false;
+};
+
+/// Asynchronous cloud-store provider with provisioned capacity.
+class CloudKvStateStorage final : public StateStorage {
+ public:
+  /// Does not take ownership of `backing`.
+  CloudKvStateStorage(KvStore* backing, const CloudKvOptions& options);
+
+  Future<Status> Write(const std::string& grain_key, std::string bytes,
+                       Executor* exec) override;
+  Future<std::string> Read(const std::string& grain_key,
+                            Executor* exec) override;
+  Future<Status> Clear(const std::string& grain_key, Executor* exec) override;
+
+  /// Counters for tests and the persistence-policy ablation bench.
+  int64_t writes() const;
+  int64_t reads() const;
+  int64_t throttled() const;
+
+ private:
+  double UnitsFor(int64_t bytes) const;
+  Micros SampleLatency();
+
+  KvStore* backing_;
+  const CloudKvOptions options_;
+  TokenBucket write_bucket_;
+  TokenBucket read_bucket_;
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  int64_t writes_ = 0;
+  int64_t reads_ = 0;
+  int64_t throttled_ = 0;
+};
+
+}  // namespace aodb
+
+#endif  // AODB_STORAGE_CLOUD_KV_H_

@@ -1,0 +1,48 @@
+// Synchronous key-value store interface: the lowest storage layer. The
+// persistent implementation (FileKvStore) plays the role of the cloud
+// store's backing medium; CloudKvSim adds the provisioned-capacity and
+// latency behaviour of a managed service on top.
+
+#ifndef AODB_STORAGE_KV_STORE_H_
+#define AODB_STORAGE_KV_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "actor/system_kv.h"
+#include "common/status.h"
+
+namespace aodb {
+
+/// A batch of writes applied atomically (all-or-nothing in the log).
+struct WriteBatch {
+  struct Op {
+    bool is_delete = false;
+    std::string key;
+    std::string value;
+  };
+  std::vector<Op> ops;
+
+  void Put(std::string key, std::string value) {
+    ops.push_back(Op{false, std::move(key), std::move(value)});
+  }
+  void Delete(std::string key) {
+    ops.push_back(Op{true, std::move(key), ""});
+  }
+  bool empty() const { return ops.empty(); }
+};
+
+/// Abstract synchronous KV store. Extends SystemKv (Put/Get/Delete/List) so
+/// any store can also serve as the cluster system store.
+class KvStore : public SystemKv {
+ public:
+  /// Applies all operations atomically.
+  virtual Status Apply(const WriteBatch& batch) = 0;
+
+  /// Number of live keys.
+  virtual Result<int64_t> Count() = 0;
+};
+
+}  // namespace aodb
+
+#endif  // AODB_STORAGE_KV_STORE_H_

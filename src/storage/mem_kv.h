@@ -1,0 +1,42 @@
+// Sharded in-memory KV store: the default grain-state medium in tests and
+// the backing map of the simulated cloud store.
+
+#ifndef AODB_STORAGE_MEM_KV_H_
+#define AODB_STORAGE_MEM_KV_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "storage/kv_store.h"
+
+namespace aodb {
+
+/// Thread-safe in-memory store. Keys are kept in sorted order per shard so
+/// prefix List() is efficient.
+class MemKvStore final : public KvStore {
+ public:
+  explicit MemKvStore(int shards = 16);
+
+  Status Put(const std::string& key, const std::string& value) override;
+  Result<std::string> Get(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  Result<std::vector<std::pair<std::string, std::string>>> List(
+      const std::string& prefix) override;
+  Status Apply(const WriteBatch& batch) override;
+  Result<int64_t> Count() override;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::map<std::string, std::string> data;
+  };
+  Shard& ShardFor(const std::string& key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace aodb
+
+#endif  // AODB_STORAGE_MEM_KV_H_

@@ -1,0 +1,74 @@
+// Asynchronous grain-state storage providers (the Orleans storage-provider
+// model): actors persist an opaque byte snapshot of their state under their
+// actor id. Providers are registered on the Cluster by name and selected by
+// each persistent actor class.
+
+#ifndef AODB_STORAGE_STATE_STORAGE_H_
+#define AODB_STORAGE_STATE_STORAGE_H_
+
+#include <memory>
+#include <string>
+
+#include "actor/executor.h"
+#include "actor/future.h"
+#include "storage/kv_store.h"
+
+namespace aodb {
+
+/// Asynchronous state store. `exec` supplies the completion scheduling (and
+/// in simulation mode, the virtual time base for the provider's latency).
+class StateStorage {
+ public:
+  virtual ~StateStorage() = default;
+
+  /// Persists `bytes` as the latest state snapshot of `grain_key`.
+  virtual Future<Status> Write(const std::string& grain_key,
+                               std::string bytes, Executor* exec) = 0;
+
+  /// Loads the latest snapshot; fails with NotFound if the grain was never
+  /// persisted (reported through the future's error channel).
+  virtual Future<std::string> Read(const std::string& grain_key,
+                                   Executor* exec) = 0;
+
+  /// Deletes the snapshot.
+  virtual Future<Status> Clear(const std::string& grain_key,
+                               Executor* exec) = 0;
+};
+
+/// Provider over any synchronous KvStore; completes immediately (used for
+/// in-memory testing and as the zero-latency baseline).
+class KvStateStorage final : public StateStorage {
+ public:
+  /// Does not take ownership of `kv`.
+  explicit KvStateStorage(KvStore* kv) : kv_(kv) {}
+
+  Future<Status> Write(const std::string& grain_key, std::string bytes,
+                       Executor* exec) override {
+    (void)exec;
+    return Future<Status>::FromValue(kv_->Put(Key(grain_key), bytes));
+  }
+
+  Future<std::string> Read(const std::string& grain_key,
+                            Executor* exec) override {
+    (void)exec;
+    Result<std::string> r = kv_->Get(Key(grain_key));
+    if (!r.ok()) return Future<std::string>::FromError(r.status());
+    return Future<std::string>::FromValue(std::move(r).value());
+  }
+
+  Future<Status> Clear(const std::string& grain_key,
+                       Executor* exec) override {
+    (void)exec;
+    return Future<Status>::FromValue(kv_->Delete(Key(grain_key)));
+  }
+
+ private:
+  static std::string Key(const std::string& grain_key) {
+    return "grain/" + grain_key;
+  }
+  KvStore* kv_;
+};
+
+}  // namespace aodb
+
+#endif  // AODB_STORAGE_STATE_STORAGE_H_

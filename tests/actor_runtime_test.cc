@@ -1,0 +1,375 @@
+// Core virtual-actor runtime tests: activation on demand, turn-based
+// execution, typed calls in real and simulated mode, placement, timers,
+// reminders, and idle deactivation.
+
+#include <atomic>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "actor/actor_ref.h"
+#include "actor/runtime.h"
+#include "sim/sim_harness.h"
+#include "storage/mem_kv.h"
+
+namespace aodb {
+namespace {
+
+/// A counter actor used across runtime tests.
+class CounterActor : public ActorBase {
+ public:
+  static constexpr char kTypeName[] = "Counter";
+
+  int64_t Add(int64_t delta) {
+    value_ += delta;
+    return value_;
+  }
+  int64_t Value() { return value_; }
+  void Bump() { ++value_; }
+  std::string Key() { return ctx().self().key; }
+  int64_t SiloOf() { return ctx().silo(); }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// Echoes status/results to exercise the non-value return paths.
+class EchoActor : public ActorBase {
+ public:
+  static constexpr char kTypeName[] = "Echo";
+
+  Status Ok() { return Status::OK(); }
+  Status Fail() { return Status::InvalidArgument("nope"); }
+  std::string Concat(std::string a, std::string b) { return a + b; }
+};
+
+struct GhostActor : ActorBase {
+  static constexpr char kTypeName[] = "Ghost";
+  int Zero() { return 0; }
+};
+
+class TickActor : public ActorBase {
+ public:
+  static constexpr char kTypeName[] = "Tick";
+  void Start() { ctx().SetTimer("t", 100 * kMicrosPerMilli); }
+  void OnTimer(const std::string&) override { ++ticks_; }
+  int Ticks() { return ticks_; }
+
+ private:
+  int ticks_ = 0;
+};
+
+class RemindedActor : public ActorBase {
+ public:
+  static constexpr char kTypeName[] = "Reminded";
+  Status Arm(int64_t period_ms) {
+    return ctx().RegisterReminder("r", period_ms * kMicrosPerMilli);
+  }
+  void ReceiveReminder(const std::string&) override { ++count_; }
+  int Count() { return count_; }
+
+ private:
+  int count_ = 0;
+};
+
+/// Calls another actor asynchronously; exercises Future-returning methods.
+class RelayActor : public ActorBase {
+ public:
+  static constexpr char kTypeName[] = "Relay";
+
+  Future<int64_t> AddViaCounter(std::string counter_key, int64_t delta) {
+    return ctx().Ref<CounterActor>(counter_key).Call(&CounterActor::Add,
+                                                     delta);
+  }
+};
+
+class RealClusterTest : public ::testing::Test {
+ protected:
+  RealClusterTest() : handle_(MakeOptions()) {
+    handle_->RegisterActorType<CounterActor>();
+    handle_->RegisterActorType<EchoActor>();
+    handle_->RegisterActorType<RelayActor>();
+  }
+
+  static RuntimeOptions MakeOptions() {
+    RuntimeOptions o;
+    o.num_silos = 2;
+    o.workers_per_silo = 2;
+    o.network.silo_latency_us = 100;
+    o.network.client_latency_us = 100;
+    o.network.jitter_us = 50;
+    return o;
+  }
+
+  RealClusterHandle handle_;
+};
+
+TEST_F(RealClusterTest, CallReturnsValue) {
+  auto counter = handle_->Ref<CounterActor>("c1");
+  auto r = counter.Call(&CounterActor::Add, int64_t{5}).Get();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value(), 5);
+  r = counter.Call(&CounterActor::Add, int64_t{7}).Get();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 12);
+}
+
+TEST_F(RealClusterTest, StateIsPerActorKey) {
+  auto a = handle_->Ref<CounterActor>("a");
+  auto b = handle_->Ref<CounterActor>("b");
+  ASSERT_TRUE(a.Call(&CounterActor::Add, int64_t{10}).Get().ok());
+  auto rb = b.Call(&CounterActor::Value).Get();
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(rb.value(), 0) << "actors must not share state";
+}
+
+TEST_F(RealClusterTest, VoidMethodReturnsUnit) {
+  auto c = handle_->Ref<CounterActor>("v");
+  auto r = c.Call(&CounterActor::Bump).Get();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(c.Call(&CounterActor::Value).Get().value(), 1);
+}
+
+TEST_F(RealClusterTest, StatusReturningMethods) {
+  auto e = handle_->Ref<EchoActor>("e");
+  auto ok = e.Call(&EchoActor::Ok).Get();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.value().ok());
+  auto fail = e.Call(&EchoActor::Fail).Get();
+  ASSERT_TRUE(fail.ok()) << "delivery succeeded; the Status is the value";
+  EXPECT_EQ(fail.value().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RealClusterTest, MultiArgumentCall) {
+  auto e = handle_->Ref<EchoActor>("e2");
+  auto r = e.Call(&EchoActor::Concat, std::string("foo"), std::string("bar"))
+               .Get();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "foobar");
+}
+
+TEST_F(RealClusterTest, ActorKnowsItsIdentity) {
+  auto c = handle_->Ref<CounterActor>("identity-key");
+  EXPECT_EQ(c.Call(&CounterActor::Key).Get().value(), "identity-key");
+}
+
+TEST_F(RealClusterTest, FutureReturningMethodIsChained) {
+  auto relay = handle_->Ref<RelayActor>("r");
+  auto r =
+      relay.Call(&RelayActor::AddViaCounter, std::string("rc"), int64_t{3})
+          .Get();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value(), 3);
+}
+
+TEST_F(RealClusterTest, UnregisteredTypeFailsTheCall) {
+  auto ghost = handle_->Ref<GhostActor>("g");
+  auto r = ghost.Call(&GhostActor::Zero).Get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RealClusterTest, TellEventuallyApplies) {
+  auto c = handle_->Ref<CounterActor>("tell");
+  for (int i = 0; i < 10; ++i) c.Tell(&CounterActor::Bump);
+  // Tells are asynchronous; a subsequent Call is ordered behind them only
+  // once delivered, so poll.
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    if (c.Call(&CounterActor::Value).Get().value() == 10) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(c.Call(&CounterActor::Value).Get().value(), 10);
+}
+
+TEST_F(RealClusterTest, ManyActorsManyMessages) {
+  constexpr int kActors = 50;
+  constexpr int kMsgs = 20;
+  std::vector<Future<int64_t>> futures;
+  for (int a = 0; a < kActors; ++a) {
+    auto ref = handle_->Ref<CounterActor>("m" + std::to_string(a));
+    for (int m = 0; m < kMsgs; ++m) {
+      futures.push_back(ref.Call(&CounterActor::Add, int64_t{1}));
+    }
+  }
+  auto all = WhenAll(futures).Get();
+  ASSERT_TRUE(all.ok());
+  for (int a = 0; a < kActors; ++a) {
+    auto ref = handle_->Ref<CounterActor>("m" + std::to_string(a));
+    EXPECT_EQ(ref.Call(&CounterActor::Value).Get().value(), kMsgs);
+  }
+  EXPECT_EQ(handle_->TotalActivations(), static_cast<size_t>(kActors));
+}
+
+TEST_F(RealClusterTest, PlacementSpreadsActorsAcrossSilos) {
+  std::set<int64_t> silos;
+  for (int i = 0; i < 40; ++i) {
+    auto ref = handle_->Ref<CounterActor>("p" + std::to_string(i));
+    silos.insert(ref.Call(&CounterActor::SiloOf).Get().value());
+  }
+  EXPECT_EQ(silos.size(), 2u) << "random placement should use both silos";
+}
+
+// --- Simulation mode ---------------------------------------------------------
+
+class SimClusterTest : public ::testing::Test {
+ protected:
+  SimClusterTest() : harness_(MakeOptions()) {
+    harness_.cluster().RegisterActorType<CounterActor>();
+    harness_.cluster().RegisterActorType<EchoActor>();
+    harness_.cluster().RegisterActorType<RelayActor>();
+  }
+
+  static RuntimeOptions MakeOptions() {
+    RuntimeOptions o;
+    o.num_silos = 2;
+    o.workers_per_silo = 2;
+    return o;
+  }
+
+  SimHarness harness_;
+};
+
+TEST_F(SimClusterTest, CallCompletesInVirtualTime) {
+  auto c = harness_.cluster().Ref<CounterActor>("c");
+  auto f = c.Call(&CounterActor::Add, int64_t{41});
+  EXPECT_FALSE(f.Ready()) << "nothing runs until virtual time advances";
+  harness_.RunFor(10 * kMicrosPerMilli);
+  ASSERT_TRUE(f.Ready());
+  EXPECT_EQ(f.Get().value(), 41);
+}
+
+TEST_F(SimClusterTest, VirtualTimeAdvancesPastNetworkAndCost) {
+  auto c = harness_.cluster().Ref<CounterActor>("c");
+  CallOptions opts;
+  opts.cost_us = 1000;
+  auto f = c.CallWith(opts, &CounterActor::Add, int64_t{1});
+  harness_.RunFor(10 * kMicrosPerMilli);
+  ASSERT_TRUE(f.Ready());
+  // Client->silo latency + activation + 1ms processing + reply latency.
+  EXPECT_GT(harness_.Now(), 1000);
+}
+
+TEST_F(SimClusterTest, DeterministicAcrossRuns) {
+  auto run_once = [](uint64_t seed) {
+    RuntimeOptions o = MakeOptions();
+    o.seed = seed;
+    SimHarness h(o);
+    h.cluster().RegisterActorType<CounterActor>();
+    std::vector<int64_t> silos;
+    for (int i = 0; i < 20; ++i) {
+      auto ref = h.cluster().Ref<CounterActor>("d" + std::to_string(i));
+      auto f = ref.Call(&CounterActor::SiloOf);
+      h.RunFor(kMicrosPerSecond);
+      silos.push_back(f.Get().value());
+    }
+    return silos;
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+  EXPECT_NE(run_once(7), run_once(8)) << "different seeds should differ";
+}
+
+TEST_F(SimClusterTest, SimExecutorModelsServiceTime) {
+  // 10 sequential 1ms messages to one actor should take >= 10ms of virtual
+  // time (turn-based execution serializes them on the actor).
+  auto c = harness_.cluster().Ref<CounterActor>("s");
+  CallOptions opts;
+  opts.cost_us = 1000;
+  std::vector<Future<int64_t>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(c.CallWith(opts, &CounterActor::Add, int64_t{1}));
+  }
+  harness_.RunFor(5 * kMicrosPerMilli);
+  EXPECT_FALSE(futures.back().Ready())
+      << "10ms of work cannot finish in 5ms of virtual time";
+  harness_.RunFor(100 * kMicrosPerMilli);
+  ASSERT_TRUE(futures.back().Ready());
+  EXPECT_EQ(futures.back().Get().value(), 10);
+}
+
+TEST_F(SimClusterTest, TimerTicksDeliverMessages) {
+  harness_.cluster().RegisterActorType<TickActor>();
+  auto t = harness_.cluster().Ref<TickActor>("t");
+  t.Tell(&TickActor::Start);
+  harness_.RunFor(1050 * kMicrosPerMilli);
+  auto f = t.Call(&TickActor::Ticks);
+  harness_.RunFor(10 * kMicrosPerMilli);
+  EXPECT_EQ(f.Get().value(), 10);
+}
+
+TEST_F(SimClusterTest, IdleActorsAreDeactivated) {
+  RuntimeOptions o = MakeOptions();
+  o.lifecycle.enable_idle_deactivation = true;
+  o.lifecycle.idle_timeout_us = kMicrosPerSecond;
+  o.lifecycle.scan_interval_us = 200 * kMicrosPerMilli;
+  SimHarness h(o);
+  h.cluster().RegisterActorType<CounterActor>();
+  h.cluster().StartIdleScanner();
+  auto c = h.cluster().Ref<CounterActor>("idle");
+  c.Call(&CounterActor::Bump);
+  h.RunFor(100 * kMicrosPerMilli);
+  EXPECT_EQ(h.cluster().TotalActivations(), 1u);
+  h.RunFor(3 * kMicrosPerSecond);
+  EXPECT_EQ(h.cluster().TotalActivations(), 0u)
+      << "idle activation should be collected";
+  // Virtual actor: a new call transparently re-activates it (state was
+  // volatile, so the counter restarts — persistence is a separate test).
+  auto f = c.Call(&CounterActor::Value);
+  h.RunFor(kMicrosPerSecond);
+  EXPECT_EQ(f.Get().value(), 0);
+  EXPECT_EQ(h.cluster().TotalActivations(), 1u);
+}
+
+TEST_F(SimClusterTest, RemindersFireAndSurviveDeactivation) {
+  MemKvStore sys_kv;
+  RuntimeOptions o = MakeOptions();
+  SimHarness h(o, &sys_kv);
+  h.cluster().RegisterActorType<RemindedActor>();
+  auto a = h.cluster().Ref<RemindedActor>("rem");
+  auto armed = a.Call(&RemindedActor::Arm, int64_t{200});
+  h.RunFor(kMicrosPerSecond + 100 * kMicrosPerMilli);
+  ASSERT_TRUE(armed.Get().value().ok());
+  auto f = a.Call(&RemindedActor::Count);
+  h.RunFor(50 * kMicrosPerMilli);
+  EXPECT_GE(f.Get().value(), 4);
+  // The reminder record is durable in the system store.
+  auto listed = sys_kv.List("rem/");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed.value().size(), 1u);
+}
+
+TEST_F(SimClusterTest, PreferLocalPlacementFollowsCaller) {
+  harness_.cluster().SetTypePlacement(CounterActor::kTypeName,
+                                      Placement::kPreferLocal);
+  // Relay actors land randomly; the counters they create must be co-located
+  // with their caller.
+  harness_.cluster().SetTypePlacement(RelayActor::kTypeName,
+                                      Placement::kRandom);
+  for (int i = 0; i < 10; ++i) {
+    auto relay = harness_.cluster().Ref<RelayActor>("rl" + std::to_string(i));
+    auto f = relay.Call(&RelayActor::AddViaCounter,
+                        std::string("ctr" + std::to_string(i)), int64_t{1});
+    harness_.RunFor(kMicrosPerSecond);
+    ASSERT_TRUE(f.Get().ok());
+    auto relay_silo = harness_.cluster().directory().Lookup(
+        ActorId{RelayActor::kTypeName, "rl" + std::to_string(i)});
+    auto ctr_silo = harness_.cluster().directory().Lookup(
+        ActorId{CounterActor::kTypeName, "ctr" + std::to_string(i)});
+    ASSERT_TRUE(relay_silo.has_value());
+    ASSERT_TRUE(ctr_silo.has_value());
+    EXPECT_EQ(*relay_silo, *ctr_silo);
+  }
+}
+
+TEST_F(SimClusterTest, HashPlacementIsDeterministic) {
+  harness_.cluster().SetTypePlacement(CounterActor::kTypeName,
+                                      Placement::kHash);
+  auto c = harness_.cluster().Ref<CounterActor>("h1");
+  auto f = c.Call(&CounterActor::SiloOf);
+  harness_.RunFor(kMicrosPerSecond);
+  SiloId expected = static_cast<SiloId>(
+      ActorIdHash()(ActorId{CounterActor::kTypeName, "h1"}) % 2);
+  EXPECT_EQ(f.Get().value(), expected);
+}
+
+}  // namespace
+}  // namespace aodb

@@ -1,0 +1,193 @@
+// Edge cases of the cattle platform: delivery lifecycle state machine,
+// trajectory window bounds, heterogeneous sensor streams, post-slaughter
+// rejection, transfer of missing cuts, and product invariants.
+
+#include <gtest/gtest.h>
+
+#include "cattle/platform.h"
+#include "sim/sim_harness.h"
+
+namespace aodb {
+namespace cattle {
+namespace {
+
+class CattleEdgeTest : public ::testing::Test {
+ protected:
+  CattleEdgeTest() : harness_(MakeOptions()), platform_(&harness_.cluster()) {
+    CattlePlatform::RegisterTypes(harness_.cluster());
+  }
+  static RuntimeOptions MakeOptions() {
+    RuntimeOptions o;
+    o.num_silos = 2;
+    return o;
+  }
+  template <typename T>
+  T Must(Future<T> f) {
+    EXPECT_TRUE(RunUntilReady(harness_, f, 60 * kMicrosPerSecond));
+    auto r = f.Get();
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  /// Resolves a Status-returning call; delivery failures and application
+  /// errors both surface as the returned Status.
+  Status Outcome(Future<Status> f) {
+    EXPECT_TRUE(RunUntilReady(harness_, f, 60 * kMicrosPerSecond));
+    auto r = f.Get();
+    return r.ok() ? r.value() : r.status();
+  }
+  SimHarness harness_;
+  CattlePlatform platform_;
+};
+
+TEST_F(CattleEdgeTest, DeliveryLifecycleEnforcesOrder) {
+  auto delivery = harness_.cluster().Ref<DeliveryActor>("d1");
+  // Depart before Plan: rejected.
+  EXPECT_FALSE(Outcome(delivery.Call(&DeliveryActor::Depart)).ok());
+  ASSERT_TRUE(Outcome(delivery.Call(&DeliveryActor::Plan,
+                                    std::string("dist-1"),
+                                    std::vector<std::string>{},
+                                    std::string("a"), std::string("b"),
+                                    std::string("truck")))
+                  .ok());
+  // Arrive before Depart: rejected.
+  EXPECT_FALSE(Outcome(delivery.Call(&DeliveryActor::Arrive,
+                                     std::string("Retailer"),
+                                     std::string("shop")))
+                   .ok());
+  ASSERT_TRUE(Outcome(delivery.Call(&DeliveryActor::Depart)).ok());
+  EXPECT_TRUE(Must(delivery.Call(&DeliveryActor::InTransit)));
+  // Double departure: rejected.
+  EXPECT_FALSE(Outcome(delivery.Call(&DeliveryActor::Depart)).ok());
+  ASSERT_TRUE(Outcome(delivery.Call(&DeliveryActor::Arrive,
+                                    std::string("Retailer"),
+                                    std::string("shop")))
+                  .ok());
+  EXPECT_FALSE(Must(delivery.Call(&DeliveryActor::InTransit)));
+  // Replanning an existing delivery: rejected.
+  EXPECT_FALSE(Outcome(delivery.Call(&DeliveryActor::Plan,
+                                     std::string("dist-1"),
+                                     std::vector<std::string>{},
+                                     std::string("a"), std::string("b"),
+                                     std::string("truck")))
+                   .ok());
+}
+
+TEST_F(CattleEdgeTest, TrajectoryWindowIsBounded) {
+  Must(platform_.RegisterCow("cow-w", "farm-1", "Angus"));
+  auto cow = harness_.cluster().Ref<CowActor>("cow-w");
+  constexpr int kReports = 5000;  // Above kTrajectoryCapacity (4096).
+  for (int i = 0; i < kReports; ++i) {
+    cow.Tell(&CowActor::ReportCollar,
+             CollarReading{static_cast<Micros>(i) * 1000,
+                           GeoPoint{55, 12}, 0.1, 38.5});
+  }
+  harness_.RunFor(60 * kMicrosPerSecond);
+  auto traj = Must(cow.Call(&CowActor::Trajectory, Micros{0},
+                            Micros{1} << 60));
+  EXPECT_EQ(traj.size(), CowActor::kTrajectoryCapacity);
+  // The oldest points were evicted: the first retained timestamp is
+  // kReports - capacity.
+  EXPECT_EQ(traj.front().ts,
+            static_cast<Micros>(kReports - CowActor::kTrajectoryCapacity) *
+                1000);
+}
+
+TEST_F(CattleEdgeTest, BolusStreamIsSeparateFromCollar) {
+  Must(platform_.RegisterCow("cow-b", "farm-1", "Angus"));
+  auto cow = harness_.cluster().Ref<CowActor>("cow-b");
+  // Bolus samples at a different (slower) rate than the collar — the
+  // paper's point about heterogeneous per-animal sensors.
+  for (int i = 0; i < 4; ++i) {
+    cow.Tell(&CowActor::ReportBolus,
+             BolusReading{static_cast<Micros>(i) * kMicrosPerSecond,
+                          39.0 + 0.5 * i, 6.4});
+  }
+  harness_.RunFor(10 * kMicrosPerSecond);
+  EXPECT_DOUBLE_EQ(Must(cow.Call(&CowActor::MeanRumenTemperature)),
+                   (39.0 + 39.5 + 40.0 + 40.5) / 4);
+  auto traj = Must(cow.Call(&CowActor::Trajectory, Micros{0},
+                            Micros{1} << 60));
+  EXPECT_TRUE(traj.empty()) << "bolus readings are not trajectory points";
+}
+
+TEST_F(CattleEdgeTest, SlaughteredCowRejectsTelemetryAndTransfer) {
+  Must(platform_.RegisterCow("cow-s", "farm-1", "Angus"));
+  Must(platform_.SlaughterAndCut("sh-1", "cow-s", "farm-1", 2));
+  auto cow = harness_.cluster().Ref<CowActor>("cow-s");
+  EXPECT_FALSE(Outcome(cow.Call(&CowActor::ReportCollar,
+                                CollarReading{0, GeoPoint{55, 12}, 0, 38.5}))
+                   .ok());
+  EXPECT_FALSE(
+      Outcome(cow.Call(&CowActor::ReportBolus, BolusReading{})).ok());
+  // Ownership transfer of a slaughtered cow must abort.
+  Status st = Outcome(platform_.TransferOwnershipTxn("cow-s", "farm-1",
+                                                     "farm-2"));
+  EXPECT_FALSE(st.ok());
+  auto info = Must(cow.Call(&CowActor::Info));
+  EXPECT_EQ(info.status, CowStatus::kSlaughtered);
+  EXPECT_EQ(info.owner_farmer, "farm-1");
+}
+
+TEST_F(CattleEdgeTest, TransferOfUnknownCutsFails) {
+  auto sh = harness_.cluster().Ref<SlaughterhouseActor>("sh-x");
+  Status st = Outcome(sh.Call(&SlaughterhouseActor::TransferCutsTo,
+                              std::string("dist-x"),
+                              std::vector<std::string>{"ghost-cut"},
+                              std::string("loc")));
+  EXPECT_TRUE(st.IsNotFound());
+}
+
+TEST_F(CattleEdgeTest, ProductRequiresAtLeastOneCut) {
+  auto shop = harness_.cluster().Ref<RetailerActor>("shop-x");
+  auto f = shop.Call(&RetailerActor::CreateProduct,
+                     std::vector<std::string>{});
+  RunUntilReady(harness_, f, 30 * kMicrosPerSecond);
+  ASSERT_TRUE(f.Ready());
+  EXPECT_FALSE(f.Get().ok());
+}
+
+TEST_F(CattleEdgeTest, ProductsComposeCutsFromDifferentCows) {
+  Must(platform_.RegisterCow("cow-m1", "farm-1", "Angus"));
+  Must(platform_.RegisterCow("cow-m2", "farm-1", "Hereford"));
+  auto cuts1 = Must(platform_.SlaughterAndCut("sh-1", "cow-m1", "farm-1", 2));
+  auto cuts2 = Must(platform_.SlaughterAndCut("sh-1", "cow-m2", "farm-1", 2));
+  Must(platform_.ShipCuts("dist-1", "shop-m", {cuts1[0], cuts2[0]}, "a",
+                          "b"));
+  auto product = Must(harness_.cluster()
+                          .Ref<RetailerActor>("shop-m")
+                          .Call(&RetailerActor::CreateProduct,
+                                std::vector<std::string>{cuts1[0],
+                                                         cuts2[0]}));
+  ProductTrace trace = Must(platform_.TraceProduct(product));
+  ASSERT_EQ(trace.cuts.size(), 2u);
+  std::set<std::string> cows{trace.cuts[0].cow_key, trace.cuts[1].cow_key};
+  EXPECT_EQ(cows, (std::set<std::string>{"cow-m1", "cow-m2"}))
+      << "a product can combine cuts of several animals (many-to-many)";
+}
+
+TEST_F(CattleEdgeTest, DistributorTracksItsDeliveries) {
+  auto dist = harness_.cluster().Ref<DistributorActor>("dist-t");
+  auto d1 = Must(dist.Call(&DistributorActor::PlanDelivery,
+                           std::vector<std::string>{}, std::string("a"),
+                           std::string("b"), std::string("v1")));
+  auto d2 = Must(dist.Call(&DistributorActor::PlanDelivery,
+                           std::vector<std::string>{}, std::string("c"),
+                           std::string("d"), std::string("v2")));
+  EXPECT_NE(d1, d2);
+  auto deliveries = Must(dist.Call(&DistributorActor::Deliveries));
+  EXPECT_EQ(deliveries.size(), 2u);
+}
+
+TEST_F(CattleEdgeTest, DoubleRegistrationIsRejected) {
+  Must(platform_.RegisterCow("cow-d", "farm-1", "Angus"));
+  auto again = platform_.RegisterCow("cow-d", "farm-1", "Angus");
+  RunUntilReady(harness_, again, 30 * kMicrosPerSecond);
+  ASSERT_TRUE(again.Ready());
+  Status st = again.Get().ok() ? again.Get().value() : again.Get().status();
+  EXPECT_FALSE(st.ok());
+}
+
+}  // namespace
+}  // namespace cattle
+}  // namespace aodb

@@ -1,0 +1,190 @@
+// Tests of the future/promise machinery underpinning every actor call:
+// fulfillment semantics, continuations, composition, error propagation,
+// and multi-threaded races.
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "actor/future.h"
+
+namespace aodb {
+namespace {
+
+TEST(FutureTest, FromValueIsImmediatelyReady) {
+  auto f = Future<int>::FromValue(7);
+  EXPECT_TRUE(f.Ready());
+  EXPECT_EQ(f.Get().value(), 7);
+}
+
+TEST(FutureTest, FromErrorCarriesStatus) {
+  auto f = Future<int>::FromError(Status::NotFound("x"));
+  ASSERT_TRUE(f.Ready());
+  EXPECT_FALSE(f.Get().ok());
+  EXPECT_TRUE(f.Get().status().IsNotFound());
+}
+
+TEST(FutureTest, PromiseFulfillsAllCopies) {
+  Promise<std::string> p;
+  Future<std::string> f1 = p.GetFuture();
+  Future<std::string> f2 = f1;  // Copies share state.
+  p.SetValue("hello");
+  EXPECT_EQ(f1.Get().value(), "hello");
+  EXPECT_EQ(f2.Get().value(), "hello");
+}
+
+TEST(FutureTest, FirstFulfillmentWins) {
+  Promise<int> p;
+  p.SetValue(1);
+  p.SetValue(2);
+  p.SetError(Status::Internal("late"));
+  EXPECT_EQ(p.GetFuture().Get().value(), 1);
+}
+
+TEST(FutureTest, CallbackBeforeFulfillmentRunsOnSet) {
+  Promise<int> p;
+  int seen = 0;
+  p.GetFuture().OnReady([&seen](Result<int>&& r) { seen = r.value(); });
+  EXPECT_EQ(seen, 0);
+  p.SetValue(42);
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(FutureTest, CallbackAfterFulfillmentRunsInline) {
+  auto f = Future<int>::FromValue(9);
+  int seen = 0;
+  f.OnReady([&seen](Result<int>&& r) { seen = r.value(); });
+  EXPECT_EQ(seen, 9);
+}
+
+TEST(FutureTest, MultipleCallbacksAllFire) {
+  Promise<int> p;
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    p.GetFuture().OnReady([&count](Result<int>&&) { ++count; });
+  }
+  p.SetValue(1);
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(FutureTest, ThenMapsValues) {
+  Promise<int> p;
+  auto f = p.GetFuture()
+               .Then([](int v) { return v * 2; })
+               .Then([](int v) { return std::to_string(v); });
+  p.SetValue(21);
+  EXPECT_EQ(f.Get().value(), "42");
+}
+
+TEST(FutureTest, ThenPropagatesErrorsWithoutInvokingFn) {
+  Promise<int> p;
+  bool invoked = false;
+  auto f = p.GetFuture().Then([&invoked](int v) {
+    invoked = true;
+    return v;
+  });
+  p.SetError(Status::Timeout("t"));
+  EXPECT_FALSE(invoked);
+  EXPECT_TRUE(f.Get().status().IsTimeout());
+}
+
+TEST(FutureTest, GetForTimesOut) {
+  Promise<int> p;
+  auto r = p.GetFuture().GetFor(2000);  // 2 ms.
+  EXPECT_TRUE(r.status().IsTimeout());
+  p.SetValue(5);
+  EXPECT_EQ(p.GetFuture().GetFor(1000000).value(), 5);
+}
+
+TEST(FutureTest, UnitFuturesWork) {
+  Promise<Unit> p;
+  auto f = p.GetFuture();
+  p.SetValue(Unit{});
+  EXPECT_TRUE(f.Get().ok());
+}
+
+TEST(WhenAllTest, EmptyInputCompletesImmediately) {
+  auto f = WhenAll(std::vector<Future<int>>{});
+  ASSERT_TRUE(f.Ready());
+  EXPECT_TRUE(f.Get().value().empty());
+}
+
+TEST(WhenAllTest, PreservesIndexAlignment) {
+  std::vector<Promise<int>> promises(5);
+  std::vector<Future<int>> futures;
+  for (auto& p : promises) futures.push_back(p.GetFuture());
+  auto all = WhenAll(futures);
+  // Fulfill out of order.
+  promises[3].SetValue(3);
+  promises[0].SetValue(0);
+  promises[4].SetValue(4);
+  promises[1].SetValue(1);
+  EXPECT_FALSE(all.Ready());
+  promises[2].SetValue(2);
+  ASSERT_TRUE(all.Ready());
+  auto results = all.Get().value();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(results[i].value(), i);
+  }
+}
+
+TEST(WhenAllTest, MixedSuccessAndErrorAreBothDelivered) {
+  std::vector<Promise<int>> promises(3);
+  std::vector<Future<int>> futures;
+  for (auto& p : promises) futures.push_back(p.GetFuture());
+  auto all = WhenAll(futures);
+  promises[0].SetValue(10);
+  promises[1].SetError(Status::Aborted("boom"));
+  promises[2].SetValue(30);
+  auto results = all.Get().value();
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_TRUE(results[1].status().IsAborted());
+  EXPECT_TRUE(results[2].ok());
+}
+
+TEST(FutureThreadedTest, ConcurrentFulfillAndWait) {
+  for (int round = 0; round < 50; ++round) {
+    Promise<int> p;
+    auto f = p.GetFuture();
+    std::thread setter([&p, round] { p.SetValue(round); });
+    EXPECT_EQ(f.Get().value(), round);
+    setter.join();
+  }
+}
+
+TEST(FutureThreadedTest, RacingSettersExactlyOneWins) {
+  for (int round = 0; round < 20; ++round) {
+    Promise<int> p;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&p, t] { p.SetValue(t); });
+    }
+    int v = p.GetFuture().Get().value();
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 4);
+    for (auto& t : threads) t.join();
+    // The winner's value must be stable afterwards.
+    EXPECT_EQ(p.GetFuture().Get().value(), v);
+  }
+}
+
+TEST(FutureThreadedTest, CallbacksFromManyThreadsAllFire) {
+  Promise<int> p;
+  std::atomic<int> fired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&p, &fired] {
+      for (int i = 0; i < 100; ++i) {
+        p.GetFuture().OnReady([&fired](Result<int>&&) { ++fired; });
+      }
+    });
+  }
+  p.SetValue(1);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(fired.load(), 800);
+}
+
+}  // namespace
+}  // namespace aodb

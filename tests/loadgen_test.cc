@@ -1,0 +1,177 @@
+// Tests of the benchmarking tool itself: the synthetic signal generator,
+// the closed-loop wave driver (per-sensor skip behaviour at saturation),
+// the 98/1/1 request mix, and windowed throughput accounting.
+
+#include <gtest/gtest.h>
+
+#include "loadgen/shm_loadgen.h"
+#include "shm/platform.h"
+#include "sim/sim_harness.h"
+
+namespace aodb {
+namespace {
+
+TEST(SignalGeneratorTest, DeterministicPerSeed) {
+  SignalGenerator a(42), b(42), c(43);
+  for (int i = 0; i < 50; ++i) {
+    Micros t = i * 100000;
+    EXPECT_DOUBLE_EQ(a.At(t), b.At(t));
+  }
+  // Different seeds produce different signals (with overwhelming
+  // probability at any single point).
+  EXPECT_NE(a.At(123456), c.At(123456));
+}
+
+TEST(SignalGeneratorTest, PacketTimestampsAreEvenlySpaced) {
+  SignalGenerator gen(7);
+  auto packet = gen.Packet(10 * kMicrosPerSecond, 20, 10.0);
+  ASSERT_EQ(packet.size(), 20u);
+  EXPECT_EQ(packet.back().ts, 10 * kMicrosPerSecond);
+  for (size_t i = 1; i < packet.size(); ++i) {
+    EXPECT_EQ(packet[i].ts - packet[i - 1].ts, 100 * kMicrosPerMilli)
+        << "10 Hz sampling";
+  }
+}
+
+TEST(SignalGeneratorTest, ValuesStayInPlausibleRange) {
+  SignalGenerator gen(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = gen.At(i * 50000);
+    EXPECT_GT(v, -10.0);
+    EXPECT_LT(v, 10.0);
+  }
+}
+
+class LoadGenTest : public ::testing::Test {
+ protected:
+  LoadGenTest() : harness_(MakeOptions()), platform_(&harness_.cluster()) {
+    shm::ShmPlatform::RegisterTypes(harness_.cluster());
+    shm::ShmPlatform::ApplyPaperPlacement(harness_.cluster());
+  }
+
+  static RuntimeOptions MakeOptions() {
+    RuntimeOptions o;
+    o.num_silos = 1;
+    o.workers_per_silo = 2;
+    return o;
+  }
+
+  shm::ShmTopology Topology(int sensors) {
+    shm::ShmTopology t;
+    t.sensors = sensors;
+    t.sensors_per_org = 100;
+    return t;
+  }
+
+  void Setup(const shm::ShmTopology& t) {
+    auto f = platform_.Setup(t);
+    harness_.RunFor(120 * kMicrosPerSecond);
+    ASSERT_TRUE(f.Ready());
+    ASSERT_TRUE(f.Get().value().ok());
+  }
+
+  SimHarness harness_;
+  shm::ShmPlatform platform_;
+};
+
+TEST_F(LoadGenTest, OffersOneRequestPerSensorPerSecond) {
+  auto t = Topology(50);
+  Setup(t);
+  LoadGenOptions lg;
+  lg.duration_us = 20 * kMicrosPerSecond;
+  ShmLoadGen gen(&platform_, t, harness_.client_executor(), lg);
+  gen.Start();
+  harness_.RunUntil(gen.end_time() + 10 * kMicrosPerSecond);
+  ASSERT_TRUE(gen.Done());
+  const LoadGenReport& r = gen.Finish();
+  // 50 sensors x 20 waves, all under light load.
+  EXPECT_EQ(r.inserts_sent, 50 * 20);
+  EXPECT_EQ(r.inserts_done, r.inserts_sent);
+  EXPECT_EQ(r.ticks_skipped, 0);
+  EXPECT_EQ(r.errors, 0);
+  EXPECT_NEAR(r.achieved_insert_rps, 50.0, 1.0);
+}
+
+TEST_F(LoadGenTest, ClosedLoopSkipsWhenSaturated) {
+  // 3000 sensors on a 2-vCPU silo (~1770 req/s capacity): sensors must
+  // skip ticks while their previous call runs, and achieved < offered.
+  auto t = Topology(3000);
+  Setup(t);
+  LoadGenOptions lg;
+  lg.duration_us = 15 * kMicrosPerSecond;
+  ShmLoadGen gen(&platform_, t, harness_.client_executor(), lg);
+  gen.Start();
+  harness_.RunUntil(gen.end_time() + 60 * kMicrosPerSecond);
+  const LoadGenReport& r = gen.Finish();
+  EXPECT_GT(r.ticks_skipped, 0) << "saturation must throttle the closed loop";
+  EXPECT_LT(r.achieved_insert_rps, 2200.0);
+  EXPECT_GT(r.achieved_insert_rps, 1200.0);
+  EXPECT_EQ(r.errors, 0);
+}
+
+TEST_F(LoadGenTest, UserQueriesFollowTheOnePerOrgRule) {
+  auto t = Topology(200);  // Two organizations.
+  Setup(t);
+  LoadGenOptions lg;
+  lg.duration_us = 20 * kMicrosPerSecond;
+  lg.user_queries = true;
+  ShmLoadGen gen(&platform_, t, harness_.client_executor(), lg);
+  gen.Start();
+  harness_.RunUntil(gen.end_time() + 20 * kMicrosPerSecond);
+  const LoadGenReport& r = gen.Finish();
+  // At most one live and one raw query per org per second; under light
+  // load all fire: ~2 orgs x 20 waves each.
+  EXPECT_GT(r.live_done, 2 * 15);
+  EXPECT_LE(r.live_done, 2 * 21);
+  EXPECT_GT(r.raw_done, 2 * 15);
+  EXPECT_LE(r.raw_done, 2 * 21);
+  // Mix sanity: inserts dominate at roughly 98%.
+  double total = static_cast<double>(r.inserts_done + r.live_done + r.raw_done);
+  EXPECT_GT(static_cast<double>(r.inserts_done) / total, 0.95);
+  EXPECT_EQ(r.errors, 0);
+}
+
+TEST_F(LoadGenTest, LatencyHistogramsArePopulated) {
+  auto t = Topology(100);
+  Setup(t);
+  LoadGenOptions lg;
+  lg.duration_us = 10 * kMicrosPerSecond;
+  lg.user_queries = true;
+  ShmLoadGen gen(&platform_, t, harness_.client_executor(), lg);
+  gen.Start();
+  harness_.RunUntil(gen.end_time() + 20 * kMicrosPerSecond);
+  const LoadGenReport& r = gen.Finish();
+  EXPECT_GT(r.insert_latency_us.count(), 0);
+  EXPECT_GT(r.live_latency_us.count(), 0);
+  EXPECT_GT(r.raw_latency_us.count(), 0);
+  // Latencies include at least one network round trip.
+  EXPECT_GT(r.insert_latency_us.min(), 0);
+  EXPECT_GE(r.insert_latency_us.Percentile(99),
+            r.insert_latency_us.Percentile(50));
+}
+
+TEST_F(LoadGenTest, DeterministicAcrossRuns) {
+  auto run = [this]() {
+    auto t = Topology(100);
+    // Fresh harness per run for full determinism.
+    SimHarness harness(MakeOptions());
+    shm::ShmPlatform::RegisterTypes(harness.cluster());
+    shm::ShmPlatform::ApplyPaperPlacement(harness.cluster());
+    shm::ShmPlatform platform(&harness.cluster());
+    auto f = platform.Setup(t);
+    harness.RunFor(120 * kMicrosPerSecond);
+    LoadGenOptions lg;
+    lg.duration_us = 10 * kMicrosPerSecond;
+    ShmLoadGen gen(&platform, t, harness.client_executor(), lg);
+    gen.Start();
+    harness.RunUntil(gen.end_time() + 20 * kMicrosPerSecond);
+    LoadGenReport r = gen.Finish();
+    return std::make_tuple(r.inserts_done,
+                           r.insert_latency_us.Percentile(99),
+                           r.insert_latency_us.max());
+  };
+  EXPECT_EQ(run(), run()) << "virtual-time runs must be exactly repeatable";
+}
+
+}  // namespace
+}  // namespace aodb

@@ -1,0 +1,166 @@
+// Tests of the discrete-event substrate: the scheduler's ordering and
+// clock semantics, SimExecutor's multi-server queueing model, and the
+// utilization accounting the figure benches rely on.
+
+#include <gtest/gtest.h>
+
+#include "sim/sim_executor.h"
+#include "sim/sim_scheduler.h"
+
+namespace aodb {
+namespace {
+
+TEST(SimSchedulerTest, EventsRunInTimeOrder) {
+  SimScheduler sched;
+  std::vector<int> order;
+  sched.At(300, [&] { order.push_back(3); });
+  sched.At(100, [&] { order.push_back(1); });
+  sched.At(200, [&] { order.push_back(2); });
+  sched.RunUntil(1000);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.Now(), 1000);
+}
+
+TEST(SimSchedulerTest, EqualTimesRunInInsertionOrder) {
+  SimScheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.At(500, [&order, i] { order.push_back(i); });
+  }
+  sched.RunUntil(500);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimSchedulerTest, ClockAdvancesToEachEvent) {
+  SimScheduler sched;
+  std::vector<Micros> seen;
+  sched.At(100, [&] { seen.push_back(sched.Now()); });
+  sched.At(250, [&] { seen.push_back(sched.Now()); });
+  sched.RunUntil(300);
+  EXPECT_EQ(seen, (std::vector<Micros>{100, 250}));
+}
+
+TEST(SimSchedulerTest, EventsMayScheduleMoreEvents) {
+  SimScheduler sched;
+  int fired = 0;
+  std::function<void()> chain = [&]() {
+    ++fired;
+    if (fired < 5) sched.After(100, chain);
+  };
+  sched.After(100, chain);
+  sched.RunUntil(10000);
+  EXPECT_EQ(fired, 5);
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(SimSchedulerTest, RunUntilStopsAtHorizon) {
+  SimScheduler sched;
+  int fired = 0;
+  sched.At(100, [&] { ++fired; });
+  sched.At(900, [&] { ++fired; });
+  EXPECT_EQ(sched.RunUntil(500), 1);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.Now(), 500);
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.RunUntil(1000);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimSchedulerTest, PastTimesClampToNow) {
+  SimScheduler sched;
+  sched.RunUntil(1000);
+  Micros ran_at = -1;
+  sched.At(1, [&] { ran_at = sched.Now(); });
+  sched.RunUntil(2000);
+  EXPECT_EQ(ran_at, 1000) << "events cannot run in the past";
+}
+
+TEST(SimExecutorTest, SingleWorkerSerializesTasks) {
+  SimScheduler sched;
+  SimExecutor exec(&sched, 1);
+  std::vector<Micros> completions;
+  for (int i = 0; i < 3; ++i) {
+    exec.Post(Task{[&] { completions.push_back(sched.Now()); }, 100});
+  }
+  sched.RunUntil(10000);
+  // Tasks of 100us each on one worker: done at 100, 200, 300.
+  EXPECT_EQ(completions, (std::vector<Micros>{100, 200, 300}));
+}
+
+TEST(SimExecutorTest, TwoWorkersRunInParallel) {
+  SimScheduler sched;
+  SimExecutor exec(&sched, 2);
+  std::vector<Micros> completions;
+  for (int i = 0; i < 4; ++i) {
+    exec.Post(Task{[&] { completions.push_back(sched.Now()); }, 100});
+  }
+  sched.RunUntil(10000);
+  // Pairs complete together: 100, 100, 200, 200.
+  EXPECT_EQ(completions, (std::vector<Micros>{100, 100, 200, 200}));
+}
+
+TEST(SimExecutorTest, ZeroWorkerExecutorRunsImmediately) {
+  SimScheduler sched;
+  SimExecutor exec(&sched, 0);
+  Micros ran_at = -1;
+  exec.Post(Task{[&] { ran_at = sched.Now(); }, 999999});
+  sched.RunUntil(100);
+  EXPECT_EQ(ran_at, 0) << "client node has no CPU constraint";
+}
+
+TEST(SimExecutorTest, PostAfterDoesNotOccupyWorkers) {
+  SimScheduler sched;
+  SimExecutor exec(&sched, 1);
+  // A long task plus a timer: the timer fires during the task.
+  Micros task_done = 0, timer_fired = 0;
+  exec.Post(Task{[&] { task_done = sched.Now(); }, 1000});
+  exec.PostAfter(500, [&] { timer_fired = sched.Now(); });
+  sched.RunUntil(10000);
+  EXPECT_EQ(task_done, 1000);
+  EXPECT_EQ(timer_fired, 500);
+}
+
+TEST(SimExecutorTest, UtilizationAccountsBusyTime) {
+  SimScheduler sched;
+  SimExecutor exec(&sched, 2);
+  // 4 x 100us of work on 2 workers over a 1000us window: 20%.
+  for (int i = 0; i < 4; ++i) {
+    exec.Post(Task{[] {}, 100});
+  }
+  sched.RunUntil(1000);
+  EXPECT_NEAR(exec.Utilization(), 0.2, 1e-9);
+  EXPECT_EQ(exec.Stats().tasks_run, 4);
+  EXPECT_EQ(exec.Stats().busy_us, 400);
+}
+
+/// Property sweep: an M/D/c-style system's completion count equals the
+/// offered count and the makespan approximates total_work / workers across
+/// worker counts.
+class SimExecutorWorkers : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimExecutorWorkers, MakespanScalesWithWorkers) {
+  int workers = GetParam();
+  SimScheduler sched;
+  SimExecutor exec(&sched, workers);
+  constexpr int kTasks = 120;
+  constexpr Micros kCost = 50;
+  int done = 0;
+  Micros last = 0;
+  for (int i = 0; i < kTasks; ++i) {
+    exec.Post(Task{[&] {
+                     ++done;
+                     last = sched.Now();
+                   },
+                   kCost});
+  }
+  sched.RunUntil(1000000);
+  EXPECT_EQ(done, kTasks);
+  Micros expected = kTasks * kCost / workers;
+  EXPECT_EQ(last, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, SimExecutorWorkers,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace aodb
