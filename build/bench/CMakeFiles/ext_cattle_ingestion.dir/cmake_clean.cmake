@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cattle_ingestion.dir/ext_cattle_ingestion.cc.o"
+  "CMakeFiles/ext_cattle_ingestion.dir/ext_cattle_ingestion.cc.o.d"
+  "ext_cattle_ingestion"
+  "ext_cattle_ingestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cattle_ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

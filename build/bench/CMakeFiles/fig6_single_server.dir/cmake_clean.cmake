@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_single_server.dir/fig6_single_server.cc.o"
+  "CMakeFiles/fig6_single_server.dir/fig6_single_server.cc.o.d"
+  "fig6_single_server"
+  "fig6_single_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_single_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

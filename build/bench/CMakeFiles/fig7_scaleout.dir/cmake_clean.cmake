@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_scaleout.dir/fig7_scaleout.cc.o"
+  "CMakeFiles/fig7_scaleout.dir/fig7_scaleout.cc.o.d"
+  "fig7_scaleout"
+  "fig7_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_live_latency.dir/fig9_live_latency.cc.o"
+  "CMakeFiles/fig9_live_latency.dir/fig9_live_latency.cc.o.d"
+  "fig9_live_latency"
+  "fig9_live_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_live_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

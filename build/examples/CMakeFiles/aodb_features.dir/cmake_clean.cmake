@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aodb_features.dir/aodb_features.cpp.o"
+  "CMakeFiles/aodb_features.dir/aodb_features.cpp.o.d"
+  "aodb_features"
+  "aodb_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aodb_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cattle_tracing.dir/cattle_tracing.cpp.o"
+  "CMakeFiles/cattle_tracing.dir/cattle_tracing.cpp.o.d"
+  "cattle_tracing"
+  "cattle_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cattle_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/loadgen/CMakeFiles/aodb_loadgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/aodb_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cattle/CMakeFiles/aodb_cattle.dir/DependInfo.cmake"
+  "/root/repo/build/src/aodb/CMakeFiles/aodb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aodb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/actor/CMakeFiles/aodb_actor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aodb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

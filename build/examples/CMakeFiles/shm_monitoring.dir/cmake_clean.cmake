@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_monitoring.dir/shm_monitoring.cpp.o"
+  "CMakeFiles/shm_monitoring.dir/shm_monitoring.cpp.o.d"
+  "shm_monitoring"
+  "shm_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/actor/actor.cc" "src/actor/CMakeFiles/aodb_actor.dir/actor.cc.o" "gcc" "src/actor/CMakeFiles/aodb_actor.dir/actor.cc.o.d"
+  "/root/repo/src/actor/cluster.cc" "src/actor/CMakeFiles/aodb_actor.dir/cluster.cc.o" "gcc" "src/actor/CMakeFiles/aodb_actor.dir/cluster.cc.o.d"
+  "/root/repo/src/actor/directory.cc" "src/actor/CMakeFiles/aodb_actor.dir/directory.cc.o" "gcc" "src/actor/CMakeFiles/aodb_actor.dir/directory.cc.o.d"
+  "/root/repo/src/actor/silo.cc" "src/actor/CMakeFiles/aodb_actor.dir/silo.cc.o" "gcc" "src/actor/CMakeFiles/aodb_actor.dir/silo.cc.o.d"
+  "/root/repo/src/actor/thread_pool.cc" "src/actor/CMakeFiles/aodb_actor.dir/thread_pool.cc.o" "gcc" "src/actor/CMakeFiles/aodb_actor.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aodb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aodb_actor.dir/actor.cc.o"
+  "CMakeFiles/aodb_actor.dir/actor.cc.o.d"
+  "CMakeFiles/aodb_actor.dir/cluster.cc.o"
+  "CMakeFiles/aodb_actor.dir/cluster.cc.o.d"
+  "CMakeFiles/aodb_actor.dir/directory.cc.o"
+  "CMakeFiles/aodb_actor.dir/directory.cc.o.d"
+  "CMakeFiles/aodb_actor.dir/silo.cc.o"
+  "CMakeFiles/aodb_actor.dir/silo.cc.o.d"
+  "CMakeFiles/aodb_actor.dir/thread_pool.cc.o"
+  "CMakeFiles/aodb_actor.dir/thread_pool.cc.o.d"
+  "libaodb_actor.a"
+  "libaodb_actor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aodb_actor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

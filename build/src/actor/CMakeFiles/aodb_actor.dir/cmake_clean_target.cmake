@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaodb_actor.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aodb/txn.cc" "src/aodb/CMakeFiles/aodb_db.dir/txn.cc.o" "gcc" "src/aodb/CMakeFiles/aodb_db.dir/txn.cc.o.d"
+  "/root/repo/src/aodb/workflow.cc" "src/aodb/CMakeFiles/aodb_db.dir/workflow.cc.o" "gcc" "src/aodb/CMakeFiles/aodb_db.dir/workflow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/actor/CMakeFiles/aodb_actor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aodb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

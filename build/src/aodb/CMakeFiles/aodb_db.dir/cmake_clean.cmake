@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aodb_db.dir/txn.cc.o"
+  "CMakeFiles/aodb_db.dir/txn.cc.o.d"
+  "CMakeFiles/aodb_db.dir/workflow.cc.o"
+  "CMakeFiles/aodb_db.dir/workflow.cc.o.d"
+  "libaodb_db.a"
+  "libaodb_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aodb_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cattle/cow_actor.cc" "src/cattle/CMakeFiles/aodb_cattle.dir/cow_actor.cc.o" "gcc" "src/cattle/CMakeFiles/aodb_cattle.dir/cow_actor.cc.o.d"
+  "/root/repo/src/cattle/distributor_actor.cc" "src/cattle/CMakeFiles/aodb_cattle.dir/distributor_actor.cc.o" "gcc" "src/cattle/CMakeFiles/aodb_cattle.dir/distributor_actor.cc.o.d"
+  "/root/repo/src/cattle/farmer_actor.cc" "src/cattle/CMakeFiles/aodb_cattle.dir/farmer_actor.cc.o" "gcc" "src/cattle/CMakeFiles/aodb_cattle.dir/farmer_actor.cc.o.d"
+  "/root/repo/src/cattle/meat_cut_actor.cc" "src/cattle/CMakeFiles/aodb_cattle.dir/meat_cut_actor.cc.o" "gcc" "src/cattle/CMakeFiles/aodb_cattle.dir/meat_cut_actor.cc.o.d"
+  "/root/repo/src/cattle/platform.cc" "src/cattle/CMakeFiles/aodb_cattle.dir/platform.cc.o" "gcc" "src/cattle/CMakeFiles/aodb_cattle.dir/platform.cc.o.d"
+  "/root/repo/src/cattle/retailer_actor.cc" "src/cattle/CMakeFiles/aodb_cattle.dir/retailer_actor.cc.o" "gcc" "src/cattle/CMakeFiles/aodb_cattle.dir/retailer_actor.cc.o.d"
+  "/root/repo/src/cattle/slaughterhouse_actor.cc" "src/cattle/CMakeFiles/aodb_cattle.dir/slaughterhouse_actor.cc.o" "gcc" "src/cattle/CMakeFiles/aodb_cattle.dir/slaughterhouse_actor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aodb/CMakeFiles/aodb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/actor/CMakeFiles/aodb_actor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aodb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

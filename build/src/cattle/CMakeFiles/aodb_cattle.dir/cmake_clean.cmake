@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aodb_cattle.dir/cow_actor.cc.o"
+  "CMakeFiles/aodb_cattle.dir/cow_actor.cc.o.d"
+  "CMakeFiles/aodb_cattle.dir/distributor_actor.cc.o"
+  "CMakeFiles/aodb_cattle.dir/distributor_actor.cc.o.d"
+  "CMakeFiles/aodb_cattle.dir/farmer_actor.cc.o"
+  "CMakeFiles/aodb_cattle.dir/farmer_actor.cc.o.d"
+  "CMakeFiles/aodb_cattle.dir/meat_cut_actor.cc.o"
+  "CMakeFiles/aodb_cattle.dir/meat_cut_actor.cc.o.d"
+  "CMakeFiles/aodb_cattle.dir/platform.cc.o"
+  "CMakeFiles/aodb_cattle.dir/platform.cc.o.d"
+  "CMakeFiles/aodb_cattle.dir/retailer_actor.cc.o"
+  "CMakeFiles/aodb_cattle.dir/retailer_actor.cc.o.d"
+  "CMakeFiles/aodb_cattle.dir/slaughterhouse_actor.cc.o"
+  "CMakeFiles/aodb_cattle.dir/slaughterhouse_actor.cc.o.d"
+  "libaodb_cattle.a"
+  "libaodb_cattle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aodb_cattle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aodb_common.dir/clock.cc.o"
+  "CMakeFiles/aodb_common.dir/clock.cc.o.d"
+  "CMakeFiles/aodb_common.dir/codec.cc.o"
+  "CMakeFiles/aodb_common.dir/codec.cc.o.d"
+  "CMakeFiles/aodb_common.dir/histogram.cc.o"
+  "CMakeFiles/aodb_common.dir/histogram.cc.o.d"
+  "CMakeFiles/aodb_common.dir/logging.cc.o"
+  "CMakeFiles/aodb_common.dir/logging.cc.o.d"
+  "CMakeFiles/aodb_common.dir/stats.cc.o"
+  "CMakeFiles/aodb_common.dir/stats.cc.o.d"
+  "CMakeFiles/aodb_common.dir/status.cc.o"
+  "CMakeFiles/aodb_common.dir/status.cc.o.d"
+  "CMakeFiles/aodb_common.dir/table_printer.cc.o"
+  "CMakeFiles/aodb_common.dir/table_printer.cc.o.d"
+  "libaodb_common.a"
+  "libaodb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aodb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

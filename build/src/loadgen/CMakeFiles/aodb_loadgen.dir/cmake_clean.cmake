@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aodb_loadgen.dir/shm_loadgen.cc.o"
+  "CMakeFiles/aodb_loadgen.dir/shm_loadgen.cc.o.d"
+  "libaodb_loadgen.a"
+  "libaodb_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aodb_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

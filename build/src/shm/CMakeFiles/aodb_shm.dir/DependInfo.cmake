@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shm/aggregator_actor.cc" "src/shm/CMakeFiles/aodb_shm.dir/aggregator_actor.cc.o" "gcc" "src/shm/CMakeFiles/aodb_shm.dir/aggregator_actor.cc.o.d"
+  "/root/repo/src/shm/channel_actor.cc" "src/shm/CMakeFiles/aodb_shm.dir/channel_actor.cc.o" "gcc" "src/shm/CMakeFiles/aodb_shm.dir/channel_actor.cc.o.d"
+  "/root/repo/src/shm/organization_actor.cc" "src/shm/CMakeFiles/aodb_shm.dir/organization_actor.cc.o" "gcc" "src/shm/CMakeFiles/aodb_shm.dir/organization_actor.cc.o.d"
+  "/root/repo/src/shm/platform.cc" "src/shm/CMakeFiles/aodb_shm.dir/platform.cc.o" "gcc" "src/shm/CMakeFiles/aodb_shm.dir/platform.cc.o.d"
+  "/root/repo/src/shm/sensor_actor.cc" "src/shm/CMakeFiles/aodb_shm.dir/sensor_actor.cc.o" "gcc" "src/shm/CMakeFiles/aodb_shm.dir/sensor_actor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/aodb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/actor/CMakeFiles/aodb_actor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aodb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

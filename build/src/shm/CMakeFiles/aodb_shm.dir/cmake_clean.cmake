@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aodb_shm.dir/aggregator_actor.cc.o"
+  "CMakeFiles/aodb_shm.dir/aggregator_actor.cc.o.d"
+  "CMakeFiles/aodb_shm.dir/channel_actor.cc.o"
+  "CMakeFiles/aodb_shm.dir/channel_actor.cc.o.d"
+  "CMakeFiles/aodb_shm.dir/organization_actor.cc.o"
+  "CMakeFiles/aodb_shm.dir/organization_actor.cc.o.d"
+  "CMakeFiles/aodb_shm.dir/platform.cc.o"
+  "CMakeFiles/aodb_shm.dir/platform.cc.o.d"
+  "CMakeFiles/aodb_shm.dir/sensor_actor.cc.o"
+  "CMakeFiles/aodb_shm.dir/sensor_actor.cc.o.d"
+  "libaodb_shm.a"
+  "libaodb_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aodb_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aodb_storage.dir/cloud_kv.cc.o"
+  "CMakeFiles/aodb_storage.dir/cloud_kv.cc.o.d"
+  "CMakeFiles/aodb_storage.dir/file_kv.cc.o"
+  "CMakeFiles/aodb_storage.dir/file_kv.cc.o.d"
+  "CMakeFiles/aodb_storage.dir/mem_kv.cc.o"
+  "CMakeFiles/aodb_storage.dir/mem_kv.cc.o.d"
+  "libaodb_storage.a"
+  "libaodb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aodb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

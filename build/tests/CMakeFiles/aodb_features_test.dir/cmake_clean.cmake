@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aodb_features_test.dir/aodb_features_test.cc.o"
+  "CMakeFiles/aodb_features_test.dir/aodb_features_test.cc.o.d"
+  "aodb_features_test"
+  "aodb_features_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aodb_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

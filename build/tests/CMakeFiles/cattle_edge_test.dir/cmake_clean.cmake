@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cattle_edge_test.dir/cattle_edge_test.cc.o"
+  "CMakeFiles/cattle_edge_test.dir/cattle_edge_test.cc.o.d"
+  "cattle_edge_test"
+  "cattle_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cattle_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cattle_platform_test.dir/cattle_platform_test.cc.o"
+  "CMakeFiles/cattle_platform_test.dir/cattle_platform_test.cc.o.d"
+  "cattle_platform_test"
+  "cattle_platform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cattle_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

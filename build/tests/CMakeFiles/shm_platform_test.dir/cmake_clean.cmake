@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_platform_test.dir/shm_platform_test.cc.o"
+  "CMakeFiles/shm_platform_test.dir/shm_platform_test.cc.o.d"
+  "shm_platform_test"
+  "shm_platform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_property_test.dir/shm_property_test.cc.o"
+  "CMakeFiles/shm_property_test.dir/shm_property_test.cc.o.d"
+  "shm_property_test"
+  "shm_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
