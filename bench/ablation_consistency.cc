@@ -58,7 +58,10 @@ ModeResult RunMode(Mode mode) {
   Micros t0 = harness.Now();
   // A dedicated coordinator with a larger retry budget: all transfers
   // contend on the single seller actor's lock.
-  TxnManager txn(&harness.cluster(), TxnOptions{60, 5 * kMicrosPerMilli});
+  RetryPolicy txn_retry;
+  txn_retry.max_retries = 60;
+  txn_retry.initial_backoff_us = 5 * kMicrosPerMilli;
+  TxnManager txn(&harness.cluster(), TxnOptions{txn_retry});
   std::vector<Future<Status>> transfers;
   for (int i = 0; i < kCowsPerMode; ++i) {
     std::string cow = CattlePlatform::CowKey(i);

@@ -1,0 +1,224 @@
+// Chaos recovery: ingestion under the fault-injection subsystem.
+//
+// Runs the SHM ingestion workload through a seeded FaultPlan (one of three
+// silos killed mid-run and restarted, 1% message drop, 0.5% duplication, 5%
+// transient storage errors) under three client configurations, and reports
+// how many acked packets the platform subsequently lost:
+//
+//   (a) no retries, fast acks     — the paper's implicit baseline
+//   (b) client retries, fast acks — crashes heal but in-window acks can lie
+//   (c) retries + durable acks    — the robustness contract: no acked write
+//                                   is ever lost
+//
+// Every configuration uses the same fault seed, so the chaos the three modes
+// face is identical and the table isolates the policy, not the luck.
+
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "actor/fault.h"
+#include "common/table_printer.h"
+#include "shm/platform.h"
+#include "sim/sim_harness.h"
+#include "storage/faulty_storage.h"
+#include "storage/mem_kv.h"
+
+namespace aodb::bench {
+namespace {
+
+constexpr int kSensors = 6;
+constexpr int kRounds = 36;
+
+struct ModeResult {
+  int64_t acked = 0;
+  int64_t failed = 0;
+  int64_t lost_acked_points = 0;
+  int64_t client_retries = 0;
+  int64_t dropped = 0;
+  int64_t storage_errors = 0;
+  Micros total_time = 0;
+  bool ok = false;
+};
+
+struct Mode {
+  const char* name;
+  bool retries;
+  bool durable_acks;
+};
+
+ModeResult RunMode(const Mode& mode) {
+  ModeResult out;
+  RuntimeOptions options;
+  options.num_silos = 3;
+  options.workers_per_silo = 2;
+  options.seed = 42;
+  SimHarness harness(options);
+  Cluster& cluster = harness.cluster();
+
+  PersistenceOptions persistence;
+  persistence.policy = PersistPolicy::kOnEveryUpdate;
+  if (mode.retries) {
+    persistence.retry.max_retries = 10;
+    persistence.retry.initial_backoff_us = 5 * kMicrosPerMilli;
+  } else {
+    persistence.retry = RetryPolicy::None();
+  }
+  shm::ShmPlatform::RegisterTypes(cluster, persistence);
+  shm::ShmPlatform::ApplyPaperPlacement(cluster);
+
+  FaultPlan plan;
+  plan.seed = 2026;
+  plan.crashes.push_back(SiloCrashEvent{/*at_us=*/3 * kMicrosPerSecond,
+                                        /*silo=*/1,
+                                        /*restart_after_us=*/3 *
+                                            kMicrosPerSecond});
+  plan.message.drop_prob = 0.01;
+  plan.message.duplicate_prob = 0.005;
+  plan.storage.error_prob = 0.05;
+  plan.storage.latency_spike_prob = 0.02;
+  FaultInjector injector(plan);
+
+  MemKvStore backing;
+  auto faulty = std::make_shared<FaultyStateStorage>(
+      std::make_shared<KvStateStorage>(&backing), &injector);
+  cluster.RegisterStateStorage("default", faulty);
+
+  shm::ShmClientOptions client;
+  client.durable_acks = mode.durable_acks;
+  if (mode.retries) {
+    client.retry.max_retries = 12;
+    client.retry.initial_backoff_us = 50 * kMicrosPerMilli;
+    client.retry.max_backoff_us = kMicrosPerSecond;
+  }
+  shm::ShmPlatform platform(&cluster, client);
+
+  shm::ShmTopology topo;
+  topo.sensors = kSensors;
+  topo.sensors_per_org = kSensors;
+  topo.channels_per_sensor = 2;
+  topo.virtual_every = 0;
+  topo.window_capacity = 4096;
+
+  auto setup = platform.Setup(topo);
+  harness.RunFor(10 * kMicrosPerSecond);
+  if (!setup.Ready() || !setup.Get().value().ok()) return out;
+  injector.Arm(&cluster);
+
+  Micros t0 = harness.Now();
+  struct AckedPoint {
+    std::string channel_key;
+    Micros ts;
+    double value;
+  };
+  struct PendingInsert {
+    Future<Status> ack;
+    std::vector<AckedPoint> points;
+  };
+  std::vector<PendingInsert> inserts;
+  for (int round = 0; round < kRounds; ++round) {
+    Micros ts = harness.Now();
+    for (int s = 0; s < kSensors; ++s) {
+      double base = s * 1e6 + round;
+      std::vector<shm::DataPoint> pts = {{ts, base}, {ts, base + 0.5}};
+      PendingInsert pi;
+      pi.points = {
+          {shm::ShmPlatform::ChannelKey(s, 0), ts, base},
+          {shm::ShmPlatform::ChannelKey(s, 1), ts, base + 0.5},
+      };
+      pi.ack = platform.Insert(topo, s, std::move(pts));
+      inserts.push_back(std::move(pi));
+    }
+    harness.RunFor(250 * kMicrosPerMilli);
+  }
+  harness.RunFor(120 * kMicrosPerSecond);
+  out.total_time = harness.Now() - t0;
+
+  std::map<std::string, std::vector<AckedPoint>> acked_by_channel;
+  for (auto& pi : inserts) {
+    if (pi.ack.Ready() && pi.ack.Get().ok() && pi.ack.Get().value().ok()) {
+      ++out.acked;
+      for (const AckedPoint& p : pi.points) {
+        acked_by_channel[p.channel_key].push_back(p);
+      }
+    } else {
+      ++out.failed;
+    }
+  }
+
+  // Kill the ingest-era cluster state the hard way: what does a read after
+  // full recovery actually return, and does it contain every acked point?
+  for (int s = 0; s < kSensors; ++s) {
+    for (int c = 0; c < topo.channels_per_sensor; ++c) {
+      auto range = platform.RawRange(topo, s, c, 0,
+                                     std::numeric_limits<Micros>::max());
+      harness.RunFor(30 * kMicrosPerSecond);
+      std::set<std::pair<Micros, double>> present;
+      if (range.Ready()) {
+        Result<shm::RangeReply> rr = range.Get();
+        if (rr.ok()) {
+          for (const shm::DataPoint& p : rr.value().points) {
+            present.insert({p.ts, p.value});
+          }
+        }
+      }
+      for (const AckedPoint& p :
+           acked_by_channel[shm::ShmPlatform::ChannelKey(s, c)]) {
+        if (!present.count({p.ts, p.value})) ++out.lost_acked_points;
+      }
+    }
+  }
+
+  out.client_retries = platform.insert_retries();
+  out.dropped = injector.messages_dropped();
+  out.storage_errors = injector.storage_errors();
+  out.ok = true;
+  return out;
+}
+
+}  // namespace
+}  // namespace aodb::bench
+
+int main() {
+  using namespace aodb;
+  using namespace aodb::bench;
+
+  std::printf("=== Chaos recovery: SHM ingestion through silo crash ===\n");
+  std::printf(
+      "%d sensors x %d rounds; seed-42 cluster, seed-2026 fault plan:\n"
+      "silo 1 killed at t+3s (restarts 3s later), 1%% message drop,\n"
+      "0.5%% duplication, 5%% transient storage errors.\n\n",
+      kSensors, kRounds);
+
+  const Mode kModes[] = {
+      {"no retries, fast acks", false, false},
+      {"retries, fast acks", true, false},
+      {"retries + durable acks", true, true},
+  };
+  TablePrinter table({"client mode", "acked", "failed", "acked pts lost",
+                      "retries", "drops", "st.errors", "wall (ms)"});
+  for (const Mode& mode : kModes) {
+    ModeResult r = RunMode(mode);
+    if (!r.ok) {
+      std::fprintf(stderr, "mode %s failed setup\n", mode.name);
+      return 1;
+    }
+    table.AddRow({mode.name, TablePrinter::Fmt(r.acked),
+                  TablePrinter::Fmt(r.failed),
+                  TablePrinter::Fmt(r.lost_acked_points),
+                  TablePrinter::Fmt(r.client_retries),
+                  TablePrinter::Fmt(r.dropped),
+                  TablePrinter::Fmt(r.storage_errors),
+                  TablePrinter::FmtMsFromUs(r.total_time)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: without retries, crash-window inserts fail outright"
+      "\n(and any fast ack issued before persistence can be lost). Client"
+      "\nretries recover the failures; durable acks additionally guarantee"
+      "\nzero acked-point loss — the chaos acceptance contract.\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the plain Release build + full test suite, then the
+# sanitized (ASan+UBSan) build running the concurrency / fault-injection
+# subset. Mirrors ROADMAP.md's tier-1 command and adds the sanitizer leg.
+#
+# Usage: scripts/tier1.sh [--no-asan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "${1:-}" == "--no-asan" ]]; then
+  echo "tier1: skipping sanitized leg (--no-asan)"
+  exit 0
+fi
+
+# Sanitized leg: the tests that exercise cross-thread and fault paths.
+cmake -B build-asan -S . -DAODB_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  >/dev/null
+cmake --build build-asan -j --target \
+  fault_injection_test aodb_features_test storage_test real_mode_stress_test
+ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
+  -R 'fault_injection_test|aodb_features_test|storage_test|real_mode_stress_test'
+
+echo "tier1: all green (plain + sanitized)"

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "actor/fault.h"
 #include "actor/thread_pool.h"
 #include "common/codec.h"
 #include "common/logging.h"
@@ -54,12 +55,41 @@ void Cluster::Send(Envelope env) {
   SiloId target = directory_.LookupOrPlace(env.target, env.caller_silo);
   SiloId from = env.caller_silo;
   Silo* silo = silos_[target].get();
+  if (!silo->alive()) {
+    // Stale route to a crashed silo: drop the registration so the next
+    // attempt re-places on a live node, and fail fast like a refused
+    // connection so the caller's retry policy can kick in.
+    directory_.Remove(env.target, target);
+    if (env.fail) env.fail(Status::Unavailable("silo down"));
+    return;
+  }
   if (from == target) {
     silo->Deliver(std::move(env));
     return;
   }
+  FaultInjector* injector = fault_injector();
+  if (injector != nullptr && injector->ShouldDropMessage()) {
+    // Lost on the wire. The sender sees the transport-level failure
+    // (Unavailable) rather than hanging forever; fire-and-forget tells
+    // vanish silently, as on a real network.
+    if (env.fail) env.fail(Status::Unavailable("message lost"));
+    return;
+  }
+  bool duplicate =
+      injector != nullptr && injector->ShouldDuplicateMessage();
   env.cost_us += options_.network.serialization_cost_us;
   Executor* exec = silo_executors_[target];
+  if (duplicate) {
+    // At-least-once delivery under retransmission: the same envelope
+    // arrives twice. Calls resolve with the first reply (promises are
+    // first-fulfillment-wins); non-idempotent tells observe the anomaly.
+    Envelope copy = env;
+    Micros dup_arrival = network_.FifoArrival(from, target, copy.approx_bytes,
+                                              exec->clock()->Now());
+    exec->PostAt(dup_arrival, [silo, copy = std::move(copy)]() mutable {
+      silo->Deliver(std::move(copy));
+    });
+  }
   Micros arrival = network_.FifoArrival(from, target, env.approx_bytes,
                                         exec->clock()->Now());
   exec->PostAt(arrival, [silo, env = std::move(env)]() mutable {
@@ -231,6 +261,33 @@ Future<Status> Cluster::DeactivateAll() {
         done.SetValue(Status::OK());
       });
   return done.GetFuture();
+}
+
+// --- Fault injection ---------------------------------------------------------
+
+void Cluster::KillSilo(SiloId id) {
+  if (id < 0 || id >= num_silos() || !silos_[id]->alive()) return;
+  AODB_LOG(Warn, "killing silo %d", static_cast<int>(id));
+  // Order matters: stop placing on the silo, then purge its registrations,
+  // then fail its queued work — so no new route can observe the dead silo
+  // through a fresh directory entry.
+  directory_.SetSiloLive(id, false);
+  directory_.PurgeSilo(id);
+  silos_[id]->Kill();
+  if (FaultInjector* injector = fault_injector()) injector->RecordKill();
+}
+
+void Cluster::RestartSilo(SiloId id) {
+  if (id < 0 || id >= num_silos() || silos_[id]->alive()) return;
+  AODB_LOG(Info, "restarting silo %d", static_cast<int>(id));
+  silos_[id]->Restart();
+  directory_.SetSiloLive(id, true);
+  if (FaultInjector* injector = fault_injector()) injector->RecordRestart();
+}
+
+bool Cluster::SiloAlive(SiloId id) const {
+  return id >= 0 && id < static_cast<int>(silos_.size()) &&
+         silos_[id]->alive();
 }
 
 void Cluster::Stop() {

@@ -5,6 +5,7 @@
 #ifndef AODB_ACTOR_CLUSTER_H_
 #define AODB_ACTOR_CLUSTER_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -24,6 +25,7 @@ namespace aodb {
 
 template <typename T>
 class ActorRef;
+class FaultInjector;
 class StateStorage;
 
 /// A running actor-oriented database cluster.
@@ -114,6 +116,30 @@ class Cluster {
   /// Stops reminder and scanner scheduling. Called by the destructor.
   void Stop();
 
+  // --- Fault injection ----------------------------------------------------
+
+  /// Crashes a silo: its activations are dropped without flushing state,
+  /// queued and newly routed messages fail with Unavailable, and its
+  /// directory entries are purged so actors reactivate elsewhere from
+  /// persisted state on the next call. Idempotent on a dead silo.
+  void KillSilo(SiloId id);
+
+  /// Rejoins a killed silo as an empty placement candidate. Idempotent on
+  /// a live silo.
+  void RestartSilo(SiloId id);
+
+  /// False between KillSilo and RestartSilo.
+  bool SiloAlive(SiloId id) const;
+
+  /// Installs the injector whose message-fault hooks Send consults. Not
+  /// owned; pass nullptr to detach. Usually called via FaultInjector::Arm.
+  void SetFaultInjector(FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
+  FaultInjector* fault_injector() const {
+    return fault_injector_.load(std::memory_order_acquire);
+  }
+
   // --- Introspection ------------------------------------------------------
 
   const RuntimeOptions& options() const { return options_; }
@@ -150,6 +176,7 @@ class Cluster {
   Directory directory_;
   NetworkModel network_;
   std::vector<std::unique_ptr<Silo>> silos_;
+  std::atomic<FaultInjector*> fault_injector_{nullptr};
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, Factory> factories_;

@@ -5,6 +5,7 @@ namespace aodb {
 Directory::Directory(int num_silos, Placement default_placement, uint64_t seed)
     : num_silos_(num_silos),
       default_placement_(default_placement),
+      live_(static_cast<size_t>(num_silos), 1),
       rng_(seed) {}
 
 void Directory::SetTypePlacement(const std::string& type,
@@ -37,6 +38,30 @@ bool Directory::Remove(const ActorId& id, SiloId expected) {
   return true;
 }
 
+void Directory::SetSiloLive(SiloId silo, bool live) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (silo >= 0 && silo < num_silos_) live_[silo] = live ? 1 : 0;
+}
+
+bool Directory::SiloLive(SiloId silo) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return silo >= 0 && silo < num_silos_ && live_[silo] != 0;
+}
+
+size_t Directory::PurgeSilo(SiloId silo) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t purged = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second == silo) {
+      it = entries_.erase(it);
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  return purged;
+}
+
 size_t Directory::Count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
@@ -48,12 +73,31 @@ SiloId Directory::Place(const ActorId& id, SiloId caller) {
   if (it != type_placement_.end()) p = it->second;
   switch (p) {
     case Placement::kPreferLocal:
-      if (caller != kClientSiloId) return caller;
+      if (caller != kClientSiloId && live_[caller]) return caller;
       [[fallthrough]];
     case Placement::kRandom:
-      return static_cast<SiloId>(rng_.NextBelow(num_silos_));
-    case Placement::kHash:
-      return static_cast<SiloId>(ActorIdHash()(id) % num_silos_);
+      return RandomLive();
+    case Placement::kHash: {
+      // Deterministic home silo; linear-probe past dead silos so hashed
+      // actors fail over (and fail back once their home restarts).
+      SiloId home = static_cast<SiloId>(ActorIdHash()(id) % num_silos_);
+      for (int i = 0; i < num_silos_; ++i) {
+        SiloId candidate = static_cast<SiloId>((home + i) % num_silos_);
+        if (live_[candidate]) return candidate;
+      }
+      return home;
+    }
+  }
+  return 0;
+}
+
+SiloId Directory::RandomLive() {
+  int live_count = 0;
+  for (char l : live_) live_count += (l != 0);
+  if (live_count == 0) return static_cast<SiloId>(rng_.NextBelow(num_silos_));
+  int pick = static_cast<int>(rng_.NextBelow(live_count));
+  for (int i = 0; i < num_silos_; ++i) {
+    if (live_[i] != 0 && pick-- == 0) return static_cast<SiloId>(i);
   }
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "actor/actor_id.h"
 #include "actor/runtime_options.h"
@@ -36,11 +37,24 @@ class Directory {
   /// Returns true if removed.
   bool Remove(const ActorId& id, SiloId expected);
 
+  /// Marks a silo as live (placement candidate) or dead. New placements
+  /// only consider live silos; entries pointing at dead silos are purged by
+  /// PurgeSilo and treated as stale by the cluster.
+  void SetSiloLive(SiloId silo, bool live);
+  bool SiloLive(SiloId silo) const;
+
+  /// Drops every entry hosted on `silo` (silo crash). Returns the number of
+  /// activations whose registrations were purged.
+  size_t PurgeSilo(SiloId silo);
+
   /// Number of registered activations.
   size_t Count() const;
 
  private:
   SiloId Place(const ActorId& id, SiloId caller);
+  /// Uniformly random live silo (falls back to a uniform pick over all
+  /// silos if none is live).
+  SiloId RandomLive();
 
   const int num_silos_;
   const Placement default_placement_;
@@ -48,6 +62,7 @@ class Directory {
   mutable std::mutex mu_;
   std::unordered_map<ActorId, SiloId, ActorIdHash> entries_;
   std::unordered_map<std::string, Placement> type_placement_;
+  std::vector<char> live_;
   Rng rng_;
 };
 

@@ -1,0 +1,78 @@
+#include "actor/fault.h"
+
+#include "actor/cluster.h"
+
+namespace aodb {
+
+namespace {
+// Distinct seed perturbations so the message and storage decision streams
+// are independent of each other and of the directory/network Rngs.
+constexpr uint64_t kMessageStream = 0x6d7367646f70ULL;   // "msgdrop"
+constexpr uint64_t kStorageStream = 0x73746f726661ULL;   // "storfa"
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)),
+      message_rng_(plan_.seed ^ kMessageStream),
+      storage_rng_(plan_.seed ^ kStorageStream) {}
+
+void FaultInjector::Arm(Cluster* cluster) {
+  cluster->SetFaultInjector(this);
+  Executor* exec = cluster->client_executor();
+  for (const SiloCrashEvent& ev : plan_.crashes) {
+    SiloId silo = ev.silo;
+    exec->PostAfter(ev.at_us, [cluster, silo] { cluster->KillSilo(silo); });
+    if (ev.restart_after_us > 0) {
+      exec->PostAfter(ev.at_us + ev.restart_after_us,
+                      [cluster, silo] { cluster->RestartSilo(silo); });
+    }
+  }
+}
+
+bool FaultInjector::ShouldDropMessage() {
+  if (plan_.message.drop_prob <= 0) return false;
+  bool drop;
+  {
+    std::lock_guard<std::mutex> lock(message_mu_);
+    drop = message_rng_.Bernoulli(plan_.message.drop_prob);
+  }
+  if (drop) messages_dropped_.fetch_add(1);
+  return drop;
+}
+
+bool FaultInjector::ShouldDuplicateMessage() {
+  if (plan_.message.duplicate_prob <= 0) return false;
+  bool dup;
+  {
+    std::lock_guard<std::mutex> lock(message_mu_);
+    dup = message_rng_.Bernoulli(plan_.message.duplicate_prob);
+  }
+  if (dup) messages_duplicated_.fetch_add(1);
+  return dup;
+}
+
+Status FaultInjector::NextStorageFault() {
+  if (plan_.storage.error_prob <= 0) return Status::OK();
+  bool fail;
+  {
+    std::lock_guard<std::mutex> lock(storage_mu_);
+    fail = storage_rng_.Bernoulli(plan_.storage.error_prob);
+  }
+  if (!fail) return Status::OK();
+  storage_errors_.fetch_add(1);
+  return Status(plan_.storage.error, "injected storage fault");
+}
+
+Micros FaultInjector::NextStorageDelay() {
+  if (plan_.storage.latency_spike_prob <= 0) return 0;
+  bool spike;
+  {
+    std::lock_guard<std::mutex> lock(storage_mu_);
+    spike = storage_rng_.Bernoulli(plan_.storage.latency_spike_prob);
+  }
+  if (!spike) return 0;
+  storage_spikes_.fetch_add(1);
+  return plan_.storage.spike_latency_us;
+}
+
+}  // namespace aodb

@@ -1,0 +1,135 @@
+// Fault-injection subsystem: a seeded FaultPlan describing scheduled silo
+// crashes/restarts, per-channel message loss and duplication, and storage
+// error/latency-spike injection, executed by a FaultInjector. The injector
+// is deterministic under the discrete-event simulator (same seed, same
+// fault sequence) and thread-safe in real mode, so the same chaos scenario
+// can be replayed exactly or run against live thread pools.
+//
+// The paper takes robustness on faith — perpetual virtual actors reactivate
+// from persisted state after node failure — and this layer lets the
+// reproduction actually exercise that path: kill a silo mid-run, drop and
+// duplicate messages, make the cloud store fail transiently, and verify
+// acknowledged writes survive.
+
+#ifndef AODB_ACTOR_FAULT_H_
+#define AODB_ACTOR_FAULT_H_
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "actor/actor_id.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace aodb {
+
+class Cluster;
+
+/// One scheduled silo failure. Times are relative to FaultInjector::Arm.
+struct SiloCrashEvent {
+  Micros at_us = 0;
+  SiloId silo = 0;
+  /// Delay after the crash until the silo rejoins placement; 0 means it
+  /// never restarts (permanent loss of the node).
+  Micros restart_after_us = 0;
+};
+
+/// Loss model of the messaging substrate, applied to every remote
+/// (cross-node) send. A dropped request surfaces at the sender as
+/// Unavailable — the transport noticing the broken connection — so callers
+/// exercise their retry path instead of hanging on a silent void.
+struct MessageFaults {
+  double drop_prob = 0;
+  /// Probability a delivered message is delivered twice (at-least-once
+  /// semantics under retransmission).
+  double duplicate_prob = 0;
+};
+
+/// Transient-failure model of the storage tier, consumed by
+/// FaultyStateStorage.
+struct StorageFaults {
+  /// Probability an operation fails with `error` before reaching the
+  /// backing store.
+  double error_prob = 0;
+  /// Probability a (successful or failed) operation is delayed by
+  /// `spike_latency_us` (a degraded replica / retried RPC inside the
+  /// storage service).
+  double latency_spike_prob = 0;
+  Micros spike_latency_us = 50 * kMicrosPerMilli;
+  StatusCode error = StatusCode::kUnavailable;
+};
+
+/// The full seeded chaos scenario.
+struct FaultPlan {
+  uint64_t seed = 1;
+  std::vector<SiloCrashEvent> crashes;
+  MessageFaults message;
+  StorageFaults storage;
+};
+
+/// Executes a FaultPlan against a cluster. Hooked into Cluster::Send (drops
+/// and duplication), queried by FaultyStateStorage (storage faults), and —
+/// once Arm()ed — drives the crash/restart schedule through
+/// Cluster::KillSilo / RestartSilo. All counters are monotonic and
+/// deterministic for a given seed in simulation mode.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Schedules the plan's crash/restart events on the cluster's client
+  /// executor (virtual time in simulation). Also registers this injector on
+  /// the cluster so the message hooks fire.
+  void Arm(Cluster* cluster);
+
+  // --- Message-path hooks (called by Cluster::Send for remote sends) ------
+
+  /// True if this remote message should be lost.
+  bool ShouldDropMessage();
+  /// True if this remote message should additionally be delivered twice.
+  bool ShouldDuplicateMessage();
+
+  // --- Storage hooks (called by FaultyStateStorage) -----------------------
+
+  /// OK, or the transient error this operation must fail with.
+  Status NextStorageFault();
+  /// Extra latency to charge this storage operation (0 most of the time).
+  Micros NextStorageDelay();
+
+  /// Called by Cluster when a kill / restart actually executes.
+  void RecordKill() { silo_kills_.fetch_add(1); }
+  void RecordRestart() { silo_restarts_.fetch_add(1); }
+
+  // --- Counters (for tests and deterministic-replay assertions) -----------
+
+  int64_t messages_dropped() const { return messages_dropped_.load(); }
+  int64_t messages_duplicated() const { return messages_duplicated_.load(); }
+  int64_t storage_errors() const { return storage_errors_.load(); }
+  int64_t storage_spikes() const { return storage_spikes_.load(); }
+  int64_t silo_kills() const { return silo_kills_.load(); }
+  int64_t silo_restarts() const { return silo_restarts_.load(); }
+
+ private:
+  const FaultPlan plan_;
+
+  // Independent deterministic streams so message and storage decisions do
+  // not perturb each other's sequences.
+  std::mutex message_mu_;
+  Rng message_rng_;
+  std::mutex storage_mu_;
+  Rng storage_rng_;
+
+  std::atomic<int64_t> messages_dropped_{0};
+  std::atomic<int64_t> messages_duplicated_{0};
+  std::atomic<int64_t> storage_errors_{0};
+  std::atomic<int64_t> storage_spikes_{0};
+  std::atomic<int64_t> silo_kills_{0};
+  std::atomic<int64_t> silo_restarts_{0};
+};
+
+}  // namespace aodb
+
+#endif  // AODB_ACTOR_FAULT_H_

@@ -1,0 +1,86 @@
+// RetryAsync: runs a Future-producing operation under a RetryPolicy,
+// scheduling backoff delays on an Executor (real timers or virtual time).
+// This is the one retry loop shared by the workflow engine, the transaction
+// coordinator, persistent-actor state I/O, and the platform client paths.
+
+#ifndef AODB_ACTOR_RETRY_ASYNC_H_
+#define AODB_ACTOR_RETRY_ASYNC_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "actor/executor.h"
+#include "actor/future.h"
+#include "common/retry.h"
+
+namespace aodb {
+
+namespace internal {
+
+/// The failure status carried by a Result. For Result<Status> the payload
+/// itself is the outcome; for other types only the error channel can fail.
+inline Status FailureOf(const Result<Status>& r) {
+  return r.ok() ? r.value() : r.status();
+}
+template <typename T>
+Status FailureOf(const Result<T>& r) {
+  return r.ok() ? Status::OK() : r.status();
+}
+
+template <typename T>
+struct RetryLoop {
+  Executor* exec;
+  RetryState retry;
+  Micros start_us;
+  std::function<Future<T>()> op;
+  std::function<bool(const Status&)> retryable;
+  std::function<void(const Status&)> on_retry;
+  Promise<T> promise;
+
+  RetryLoop(Executor* e, const RetryPolicy& policy, uint64_t seed)
+      : exec(e), retry(policy, seed), start_us(e->clock()->Now()) {}
+
+  static void Attempt(std::shared_ptr<RetryLoop<T>> loop) {
+    loop->op().OnReady([loop](Result<T>&& r) {
+      Status st = FailureOf(r);
+      if (st.ok() || !loop->retryable(st)) {
+        loop->promise.SetResult(std::move(r));
+        return;
+      }
+      Micros elapsed = loop->exec->clock()->Now() - loop->start_us;
+      std::optional<Micros> backoff = loop->retry.NextBackoff(elapsed);
+      if (!backoff.has_value()) {
+        loop->promise.SetResult(std::move(r));
+        return;
+      }
+      if (loop->on_retry) loop->on_retry(st);
+      loop->exec->PostAfter(*backoff, [loop] { Attempt(loop); });
+    });
+  }
+};
+
+}  // namespace internal
+
+/// Runs `op` until it succeeds, fails non-retryably, or exhausts `policy`.
+/// `retryable` classifies failure statuses (defaults to IsTransient);
+/// `on_retry` is invoked before each backoff sleep (for counters/logs). The
+/// jittered backoff sequence is derived from `seed`, so simulation-mode
+/// callers get reproducible schedules.
+template <typename T>
+Future<T> RetryAsync(Executor* exec, const RetryPolicy& policy, uint64_t seed,
+                     std::function<Future<T>()> op,
+                     std::function<bool(const Status&)> retryable = IsTransient,
+                     std::function<void(const Status&)> on_retry = nullptr) {
+  auto loop = std::make_shared<internal::RetryLoop<T>>(exec, policy, seed);
+  loop->op = std::move(op);
+  loop->retryable = std::move(retryable);
+  loop->on_retry = std::move(on_retry);
+  Future<T> out = loop->promise.GetFuture();
+  internal::RetryLoop<T>::Attempt(std::move(loop));
+  return out;
+}
+
+}  // namespace aodb
+
+#endif  // AODB_ACTOR_RETRY_ASYNC_H_

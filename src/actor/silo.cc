@@ -19,6 +19,12 @@ Silo::Silo(SiloId id, Cluster* cluster, Executor* executor)
     : id_(id), cluster_(cluster), executor_(executor) {}
 
 void Silo::Deliver(Envelope env) {
+  if (!alive()) {
+    // Message raced with (or arrived after) a crash: the sender observes a
+    // broken connection. Calls fail fast and may retry; tells are lost.
+    if (env.fail) env.fail(Status::Unavailable("silo down"));
+    return;
+  }
   ActivationPtr act;
   bool is_new = false;
   {
@@ -116,6 +122,9 @@ void Silo::BeginActivate(const ActivationPtr& act) {
               Micros cost = 0;
               {
                 std::lock_guard<std::mutex> lock(act->mu);
+                // A crash may have closed the activation while OnActivate
+                // was in flight; leave it closed (its mailbox was failed).
+                if (act->state == ActState::kClosed) return;
                 act->last_active = executor_->clock()->Now();
                 if (!act->mailbox.empty()) {
                   act->state = ActState::kScheduled;
@@ -150,6 +159,9 @@ void Silo::RunTurn(const ActivationPtr& act) {
   Micros cost = 0;
   {
     std::lock_guard<std::mutex> lock(act->mu);
+    // Kill() may have closed the activation while this turn ran (real
+    // mode); do not resurrect it to idle.
+    if (act->state == ActState::kClosed) return;
     act->last_active = executor_->clock()->Now();
     if (!act->mailbox.empty()) {
       act->state = ActState::kScheduled;
@@ -229,6 +241,38 @@ Future<Status> Silo::DeactivateAll() {
     });
   }
   return done.GetFuture();
+}
+
+void Silo::Kill() {
+  alive_.store(false, std::memory_order_release);
+  std::vector<ActivationPtr> victims;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    victims.reserve(catalog_.size());
+    for (auto& [id, act] : catalog_) victims.push_back(act);
+    catalog_.clear();
+    stats_.activations_removed += static_cast<int64_t>(victims.size());
+    zombies_.insert(zombies_.end(), victims.begin(), victims.end());
+  }
+  Status down = Status::Unavailable("silo down");
+  for (auto& act : victims) {
+    std::deque<Envelope> pending;
+    {
+      std::lock_guard<std::mutex> lock(act->mu);
+      act->state = ActState::kClosed;
+      pending.swap(act->mailbox);
+    }
+    if (act->actor) act->actor->ctx().CancelAllTimers();
+    for (auto& e : pending) {
+      if (e.fail) e.fail(down);
+    }
+  }
+}
+
+void Silo::Restart() {
+  // Zombies stay parked (see zombies_); the catalog is already empty, so
+  // the node rejoins as a fresh, empty silo.
+  alive_.store(true, std::memory_order_release);
 }
 
 void Silo::FinishDeactivation(const ActivationPtr& act,

@@ -6,6 +6,7 @@
 #ifndef AODB_ACTOR_SILO_H_
 #define AODB_ACTOR_SILO_H_
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -53,6 +54,19 @@ class Silo {
   /// have finished. Activations with queued work are skipped.
   Future<Status> DeactivateAll();
 
+  /// Crashes this silo: every activation is closed WITHOUT running
+  /// OnDeactivate (no state flush — that is the point of the fault), queued
+  /// messages fail with Unavailable, and subsequent deliveries are rejected
+  /// until Restart. Use Cluster::KillSilo, which also purges the directory.
+  void Kill();
+
+  /// Brings a killed silo back as an empty node; actors placed here after
+  /// restart activate fresh from persisted state.
+  void Restart();
+
+  /// False between Kill() and Restart().
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
+
   size_t ActivationCount() const;
   SiloStats Stats() const;
 
@@ -89,9 +103,16 @@ class Silo {
   const SiloId id_;
   Cluster* const cluster_;
   Executor* const executor_;
+  std::atomic<bool> alive_{true};
 
   mutable std::mutex mu_;
   std::unordered_map<ActorId, ActivationPtr, ActorIdHash> catalog_;
+  /// Activations closed by Kill(). Retained (not destroyed) because
+  /// in-flight turns, timers, and storage completions may still hold raw
+  /// pointers into them; they are inert (kClosed) and are released when the
+  /// silo itself is destroyed. This mirrors a crashed process whose memory
+  /// simply ceases to matter.
+  std::vector<ActivationPtr> zombies_;
   SiloStats stats_;
 };
 

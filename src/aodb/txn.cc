@@ -1,6 +1,6 @@
 #include "aodb/txn.h"
 
-#include <algorithm>
+#include "actor/retry_async.h"
 
 namespace aodb {
 
@@ -110,31 +110,17 @@ Future<Status> TxnManager::RunOnce(std::vector<TxnOp> ops) {
 }
 
 Future<Status> TxnManager::Run(std::vector<TxnOp> ops) {
-  Promise<Status> done;
-  RunWithRetry(std::move(ops), options_.max_retries,
-               options_.initial_backoff_us, done);
-  return done.GetFuture();
-}
-
-void TxnManager::RunWithRetry(std::vector<TxnOp> ops, int retries_left,
-                              Micros backoff_us, Promise<Status> done) {
-  std::vector<TxnOp> ops_copy = ops;
-  RunOnce(std::move(ops_copy))
-      .OnReady([this, ops = std::move(ops), retries_left, backoff_us,
-                done](Result<Status>&& r) mutable {
-        Status st = r.ok() ? r.value() : r.status();
-        if (st.ok() || !st.IsAborted() || retries_left <= 0) {
-          done.SetValue(st);
-          return;
-        }
-        constexpr Micros kMaxBackoffUs = kMicrosPerSecond;
-        Micros next_backoff = std::min(backoff_us * 2, kMaxBackoffUs);
-        cluster_->client_executor()->PostAfter(
-            backoff_us,
-            [this, ops = std::move(ops), retries_left, next_backoff, done] {
-              RunWithRetry(ops, retries_left - 1, next_backoff, done);
-            });
-      });
+  uint64_t seed =
+      cluster_->options().seed ^ (0x74786e5aULL + seed_seq_.fetch_add(1));
+  TxnManager* self = this;
+  auto shared_ops = std::make_shared<std::vector<TxnOp>>(std::move(ops));
+  return RetryAsync<Status>(
+      cluster_->client_executor(), options_.retry, seed,
+      [self, shared_ops] { return self->RunOnce(*shared_ops); },
+      // Lock conflicts (Aborted) and crashed/unreachable participants
+      // (Unavailable) are worth another round; everything else — including
+      // validation failures — is final.
+      [](const Status& st) { return st.IsAborted() || st.IsUnavailable(); });
 }
 
 }  // namespace aodb

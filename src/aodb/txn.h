@@ -19,6 +19,7 @@
 
 #include "actor/actor_ref.h"
 #include "actor/runtime.h"
+#include "common/retry.h"
 
 namespace aodb {
 
@@ -84,11 +85,12 @@ struct TxnOp {
   std::string arg;
 };
 
-/// Coordinator retry policy.
+/// Coordinator retry policy. Retries fire on Aborted (lock conflicts) and
+/// Unavailable (silo crash / message loss during prepare); the policy's
+/// deadline bounds total coordination time, after which the transaction
+/// fails with its last error.
 struct TxnOptions {
-  /// Retries on Aborted (lock conflicts), with exponential backoff.
-  int max_retries = 5;
-  Micros initial_backoff_us = 10 * kMicrosPerMilli;
+  RetryPolicy retry;
 };
 
 /// Client-side 2PC coordinator.
@@ -100,7 +102,7 @@ class TxnManager {
   /// Runs one transaction attempt: prepare all, then commit or abort.
   Future<Status> RunOnce(std::vector<TxnOp> ops);
 
-  /// Runs with retries on Aborted.
+  /// Runs with retries on Aborted / Unavailable under options().retry.
   Future<Status> Run(std::vector<TxnOp> ops);
 
   /// Transactions coordinated (attempts) and aborts observed, for tests
@@ -109,13 +111,12 @@ class TxnManager {
   int64_t aborts() const { return aborts_.load(); }
 
  private:
-  void RunWithRetry(std::vector<TxnOp> ops, int retries_left,
-                    Micros backoff_us, Promise<Status> done);
   std::string NextTxnId();
 
   Cluster* cluster_;
   const TxnOptions options_;
   std::atomic<int64_t> seq_{0};
+  std::atomic<uint64_t> seed_seq_{0};
   std::atomic<int64_t> attempts_{0};
   std::atomic<int64_t> aborts_{0};
 };

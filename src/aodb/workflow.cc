@@ -1,16 +1,9 @@
 #include "aodb/workflow.h"
 
-#include <algorithm>
+#include "actor/retry_async.h"
+#include "common/logging.h"
 
 namespace aodb {
-
-namespace {
-
-bool IsTransient(const Status& st) {
-  return st.IsUnavailable() || st.IsTimeout() || st.IsAborted();
-}
-
-}  // namespace
 
 Future<Status> WorkflowEngine::Run(std::vector<WorkflowStep> steps) {
   auto state = std::make_shared<RunState>();
@@ -19,38 +12,36 @@ Future<Status> WorkflowEngine::Run(std::vector<WorkflowStep> steps) {
     return Future<Status>::FromValue(Status::OK());
   }
   Future<Status> out = state->done.GetFuture();
-  RunStep(state, options_.max_retries_per_step, options_.initial_backoff_us);
+  RunStep(state);
   return out;
 }
 
-void WorkflowEngine::RunStep(std::shared_ptr<RunState> state,
-                             int retries_left, Micros backoff_us) {
+uint64_t WorkflowEngine::NextSeed() {
+  return cluster_->options().seed ^
+         (0x77666c6f77ULL + seed_seq_.fetch_add(1));
+}
+
+void WorkflowEngine::RunStep(std::shared_ptr<RunState> state) {
   if (state->next >= state->steps.size()) {
     state->done.SetValue(Status::OK());
     return;
   }
-  const WorkflowStep& step = state->steps[state->next];
-  cluster_->RefAs<TransactionalActor>(step.actor_type, step.actor_key)
-      .Call(&TransactionalActor::ExecuteOp, step.op, step.arg)
-      .OnReady([this, state, retries_left,
-                backoff_us](Result<Status>&& r) mutable {
+  Cluster* cluster = cluster_;
+  WorkflowStep step = state->steps[state->next];
+  RetryAsync<Status>(
+      cluster_->client_executor(), options_.retry, NextSeed(),
+      [cluster, step] {
+        return cluster
+            ->RefAs<TransactionalActor>(step.actor_type, step.actor_key)
+            .Call(&TransactionalActor::ExecuteOp, step.op, step.arg);
+      },
+      IsTransient, [this](const Status&) { retries_.fetch_add(1); })
+      .OnReady([this, state](Result<Status>&& r) {
         Status st = r.ok() ? r.value() : r.status();
         if (st.ok()) {
           steps_executed_.fetch_add(1);
           ++state->next;
-          RunStep(std::move(state), options_.max_retries_per_step,
-                  options_.initial_backoff_us);
-          return;
-        }
-        if (IsTransient(st) && retries_left > 0) {
-          retries_.fetch_add(1);
-          constexpr Micros kMaxBackoffUs = kMicrosPerSecond;
-          Micros next_backoff = std::min(backoff_us * 2, kMaxBackoffUs);
-          cluster_->client_executor()->PostAfter(
-              backoff_us, [this, state = std::move(state), retries_left,
-                           next_backoff]() mutable {
-                RunStep(std::move(state), retries_left - 1, next_backoff);
-              });
+          RunStep(state);
           return;
         }
         // Permanent failure: compensate what already ran, then report.
@@ -65,9 +56,26 @@ void WorkflowEngine::Compensate(const std::shared_ptr<RunState>& state,
     const WorkflowStep& step = state->steps[i];
     if (step.compensate_op.empty()) continue;
     compensations_.fetch_add(1);
-    cluster_->RefAs<TransactionalActor>(step.actor_type, step.actor_key)
-        .Tell(&TransactionalActor::ExecuteOp, step.compensate_op,
-              step.compensate_arg);
+    Cluster* cluster = cluster_;
+    WorkflowStep comp = step;
+    RetryAsync<Status>(
+        cluster_->client_executor(), options_.retry, NextSeed(),
+        [cluster, comp] {
+          return cluster
+              ->RefAs<TransactionalActor>(comp.actor_type, comp.actor_key)
+              .Call(&TransactionalActor::ExecuteOp, comp.compensate_op,
+                    comp.compensate_arg);
+        },
+        IsTransient, [this](const Status&) { retries_.fetch_add(1); })
+        .OnReady([this, comp](Result<Status>&& r) {
+          Status st = r.ok() ? r.value() : r.status();
+          if (!st.ok()) {
+            compensation_failures_.fetch_add(1);
+            AODB_LOG(Error, "compensation %s on %s/%s failed permanently: %s",
+                     comp.compensate_op.c_str(), comp.actor_type.c_str(),
+                     comp.actor_key.c_str(), st.ToString().c_str());
+          }
+        });
   }
 }
 

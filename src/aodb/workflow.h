@@ -4,9 +4,11 @@
 //
 // A workflow executes its steps sequentially. Each step is a single-actor
 // atomic ExecuteOp; transient failures (Unavailable, Timeout, Aborted lock
-// collisions) are retried with backoff. On a permanent step failure the
-// compensation ops of already-completed steps run in reverse order (best
-// effort), leaving the system consistent under eventual consistency.
+// collisions) are retried under the shared RetryPolicy. On a permanent step
+// failure the compensation ops of already-completed steps run in reverse
+// order (best effort, also retried), leaving the system consistent under
+// eventual consistency. Compensations that still fail after retries are
+// counted and logged — they are the residue an operator must repair.
 
 #ifndef AODB_AODB_WORKFLOW_H_
 #define AODB_AODB_WORKFLOW_H_
@@ -16,6 +18,7 @@
 #include <vector>
 
 #include "aodb/txn.h"
+#include "common/retry.h"
 
 namespace aodb {
 
@@ -31,10 +34,10 @@ struct WorkflowStep {
   std::string compensate_arg;
 };
 
-/// Per-step retry policy.
+/// Engine configuration: one shared per-step retry policy (applied to both
+/// forward steps and compensations).
 struct WorkflowOptions {
-  int max_retries_per_step = 5;
-  Micros initial_backoff_us = 10 * kMicrosPerMilli;
+  RetryPolicy retry;
 };
 
 /// Executes workflows against a cluster. Thread-safe.
@@ -46,12 +49,17 @@ class WorkflowEngine {
 
   /// Runs the steps in order. The returned status is OK only if every step
   /// applied. On permanent failure, compensations of completed steps are
-  /// issued (fire-and-forget) before the failure is reported.
+  /// issued (asynchronously, with retries) before the failure is reported.
   Future<Status> Run(std::vector<WorkflowStep> steps);
 
   int64_t steps_executed() const { return steps_executed_.load(); }
   int64_t retries() const { return retries_.load(); }
   int64_t compensations() const { return compensations_.load(); }
+  /// Compensations that failed permanently (after retries). Non-zero means
+  /// manual repair is needed; each is also logged at Error.
+  int64_t compensation_failures() const {
+    return compensation_failures_.load();
+  }
 
  private:
   struct RunState {
@@ -60,15 +68,18 @@ class WorkflowEngine {
     Promise<Status> done;
   };
 
-  void RunStep(std::shared_ptr<RunState> state, int retries_left,
-               Micros backoff_us);
+  void RunStep(std::shared_ptr<RunState> state);
   void Compensate(const std::shared_ptr<RunState>& state, size_t completed);
+  /// Deterministic per-operation jitter seed.
+  uint64_t NextSeed();
 
   Cluster* cluster_;
   const WorkflowOptions options_;
+  std::atomic<uint64_t> seed_seq_{0};
   std::atomic<int64_t> steps_executed_{0};
   std::atomic<int64_t> retries_{0};
   std::atomic<int64_t> compensations_{0};
+  std::atomic<int64_t> compensation_failures_{0};
 };
 
 }  // namespace aodb

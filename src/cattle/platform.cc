@@ -1,5 +1,9 @@
 #include "cattle/platform.h"
 
+#include <memory>
+
+#include "actor/retry_async.h"
+
 namespace aodb {
 namespace cattle {
 
@@ -17,10 +21,35 @@ void CattlePlatform::RegisterTypes(Cluster& cluster) {
 Future<Status> CattlePlatform::RegisterCow(const std::string& cow_key,
                                            const std::string& farmer_key,
                                            const std::string& breed) {
-  auto cow_ack = cluster_->Ref<CowActor>(cow_key).Call(
-      &CowActor::Register, farmer_key, breed, cluster_->clock()->Now());
-  auto farmer_ack = cluster_->Ref<FarmerActor>(farmer_key)
-                        .Call(&FarmerActor::RegisterCow, cow_key);
+  Cluster* cluster = cluster_;
+  Micros now = cluster_->clock()->Now();
+  // Each side retried independently. Registration is not idempotent at the
+  // actor (re-execution answers AlreadyExists), so when a retried attempt
+  // reports AlreadyExists the earlier attempt actually applied and only its
+  // ack was lost — treat that as success.
+  auto side = [this](std::function<Future<Status>()> op) {
+    auto retried = std::make_shared<std::atomic<bool>>(false);
+    Promise<Status> settled;
+    RetryAsync<Status>(cluster_->client_executor(), options_.client_retry,
+                       NextSeed(), std::move(op), IsTransient,
+                       [retried](const Status&) { retried->store(true); })
+        .OnReady([retried, settled](Result<Status>&& r) {
+          Status st = r.ok() ? r.value() : r.status();
+          if (st.code() == StatusCode::kAlreadyExists && retried->load()) {
+            st = Status::OK();
+          }
+          settled.SetValue(st);
+        });
+    return settled.GetFuture();
+  };
+  auto cow_ack = side([cluster, cow_key, farmer_key, breed, now] {
+    return cluster->Ref<CowActor>(cow_key).Call(&CowActor::Register,
+                                                farmer_key, breed, now);
+  });
+  auto farmer_ack = side([cluster, cow_key, farmer_key] {
+    return cluster->Ref<FarmerActor>(farmer_key)
+        .Call(&FarmerActor::RegisterCow, cow_key);
+  });
   Promise<Status> done;
   WhenAll(std::vector<Future<Status>>{cow_ack, farmer_ack})
       .OnReady([done](Result<std::vector<Result<Status>>>&& r) {
@@ -142,8 +171,13 @@ Future<Status> CattlePlatform::ShipCuts(const std::string& distributor_key,
 
 Future<ProductTrace> CattlePlatform::TraceProduct(
     const std::string& product_key) {
-  return cluster_->Ref<MeatProductActor>(product_key)
-      .Call(&MeatProductActor::Trace);
+  Cluster* cluster = cluster_;
+  return RetryAsync<ProductTrace>(
+      cluster_->client_executor(), options_.client_retry, NextSeed(),
+      [cluster, product_key] {
+        return cluster->Ref<MeatProductActor>(product_key)
+            .Call(&MeatProductActor::Trace);
+      });
 }
 
 }  // namespace cattle

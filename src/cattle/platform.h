@@ -6,6 +6,7 @@
 #ifndef AODB_CATTLE_PLATFORM_H_
 #define AODB_CATTLE_PLATFORM_H_
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -21,11 +22,23 @@
 namespace aodb {
 namespace cattle {
 
+/// Client-side behaviour of the cattle facade under faults.
+struct CattleClientOptions {
+  /// Retry policy for direct client calls (RegisterCow, TraceProduct).
+  /// Transactions and workflows carry their own policies below.
+  RetryPolicy client_retry = RetryPolicy::None();
+  TxnOptions txn;
+  WorkflowOptions workflow;
+};
+
 /// Client-side facade over the cattle actor database.
 class CattlePlatform {
  public:
-  explicit CattlePlatform(Cluster* cluster)
-      : cluster_(cluster), txn_(cluster), workflows_(cluster) {}
+  explicit CattlePlatform(Cluster* cluster, CattleClientOptions options = {})
+      : cluster_(cluster),
+        options_(options),
+        txn_(cluster, options.txn),
+        workflows_(cluster, options.workflow) {}
 
   /// Registers every cattle actor type on the cluster.
   static void RegisterTypes(Cluster& cluster);
@@ -86,7 +99,14 @@ class CattlePlatform {
   Cluster& cluster() { return *cluster_; }
 
  private:
+  /// Deterministic per-request seed for retry jitter.
+  uint64_t NextSeed() {
+    return cluster_->options().seed ^ (0x63617474ULL + seed_seq_.fetch_add(1));
+  }
+
   Cluster* cluster_;
+  const CattleClientOptions options_;
+  std::atomic<uint64_t> seed_seq_{0};
   TxnManager txn_;
   WorkflowEngine workflows_;
 };

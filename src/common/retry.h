@@ -1,0 +1,91 @@
+// Unified retry/backoff policy used by every retrying component in the
+// library: the workflow engine, the 2PC transaction coordinator, persistent
+// actor state I/O, and the platform client paths. One policy vocabulary
+// (exponential backoff, multiplicative growth, jitter, attempt cap, elapsed
+// deadline) replaces the ad-hoc per-component retry loops, so failure
+// behaviour is configurable and testable in one place.
+
+#ifndef AODB_COMMON_RETRY_H_
+#define AODB_COMMON_RETRY_H_
+
+#include <algorithm>
+#include <optional>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace aodb {
+
+/// Exponential-backoff retry policy. Defaults suit sub-second cluster
+/// operations: up to 5 retries starting at 10 ms, doubling to a 1 s cap,
+/// with +/-20% jitter to decorrelate competing retriers.
+struct RetryPolicy {
+  /// Maximum number of retries after the initial attempt (0 disables
+  /// retrying entirely).
+  int max_retries = 5;
+  Micros initial_backoff_us = 10 * kMicrosPerMilli;
+  Micros max_backoff_us = kMicrosPerSecond;
+  /// Backoff growth factor per retry.
+  double multiplier = 2.0;
+  /// Each backoff is multiplied by Uniform(1 - jitter, 1 + jitter). Zero
+  /// gives fully deterministic spacing.
+  double jitter = 0.2;
+  /// Total elapsed-time budget across all attempts; once the next backoff
+  /// would exceed it the operation fails with its last error (0 = no
+  /// deadline).
+  Micros deadline_us = 0;
+
+  /// A policy that never retries.
+  static RetryPolicy None() {
+    RetryPolicy p;
+    p.max_retries = 0;
+    return p;
+  }
+};
+
+/// True for the transiently-failing status codes a retry may heal:
+/// Unavailable (silo down / storage throttled), Timeout, and Aborted
+/// (optimistic lock collisions).
+inline bool IsTransient(const Status& st) {
+  return st.IsUnavailable() || st.IsTimeout() || st.IsAborted();
+}
+
+/// Tracks one retried operation's attempts against a policy. Seeded, so the
+/// jittered backoff sequence is reproducible in simulation.
+class RetryState {
+ public:
+  RetryState(const RetryPolicy& policy, uint64_t seed)
+      : policy_(policy), rng_(seed) {}
+
+  /// Returns the delay to wait before the next retry, or nullopt when the
+  /// budget (attempt cap or elapsed deadline) is exhausted. `elapsed_us` is
+  /// the time since the first attempt started.
+  std::optional<Micros> NextBackoff(Micros elapsed_us) {
+    if (attempts_ >= policy_.max_retries) return std::nullopt;
+    double base = static_cast<double>(policy_.initial_backoff_us);
+    for (int i = 0; i < attempts_; ++i) base *= policy_.multiplier;
+    base = std::min(base, static_cast<double>(policy_.max_backoff_us));
+    if (policy_.jitter > 0) {
+      base *= rng_.Uniform(1.0 - policy_.jitter, 1.0 + policy_.jitter);
+    }
+    Micros backoff = std::max<Micros>(1, static_cast<Micros>(base));
+    if (policy_.deadline_us > 0 && elapsed_us + backoff >= policy_.deadline_us) {
+      return std::nullopt;
+    }
+    ++attempts_;
+    return backoff;
+  }
+
+  /// Retries consumed so far.
+  int attempts() const { return attempts_; }
+
+ private:
+  const RetryPolicy policy_;
+  Rng rng_;
+  int attempts_ = 0;
+};
+
+}  // namespace aodb
+
+#endif  // AODB_COMMON_RETRY_H_

@@ -218,6 +218,13 @@ Status PhysicalChannelActor::Append(std::vector<DataPoint> points) {
   return Status::OK();
 }
 
+Future<Status> PhysicalChannelActor::AppendDurable(
+    std::vector<DataPoint> points) {
+  Status st = Append(std::move(points));
+  if (!st.ok()) return Future<Status>::FromValue(st);
+  return WriteStateAsync();
+}
+
 LiveDataEntry PhysicalChannelActor::Latest() {
   const ChannelState& st = state();
   if (st.window.empty() || !CallerMayRead()) {

@@ -93,8 +93,14 @@ class PhysicalChannelActor : public PersistentActor<ChannelState> {
 
   /// Ingests a batch of raw points: updates the window and accumulated
   /// change, raises alerts, and forwards downstream (aggregator, virtual
-  /// channel).
+  /// channel). The returned OK acknowledges only the in-memory update.
   Status Append(std::vector<DataPoint> points);
+
+  /// Append with a write-through acknowledgement: completes OK only after
+  /// the updated channel state is durable in the storage provider (with the
+  /// persistence retry policy applied). This is the ingestion path whose
+  /// acks survive a silo crash.
+  Future<Status> AppendDurable(std::vector<DataPoint> points);
 
   /// Most recent value.
   LiveDataEntry Latest();

@@ -1,5 +1,6 @@
 #include "shm/platform.h"
 
+#include "actor/retry_async.h"
 #include "aodb/index.h"
 #include "aodb/registry.h"
 
@@ -126,9 +127,25 @@ Future<Status> ShmPlatform::Insert(const ShmTopology& t, int sensor,
   CallOptions opts;
   opts.cost_us = kCostSensorInsert;
   opts.request_bytes = static_cast<int64_t>(points.size()) * kBytesPerPoint;
-  return cluster_->Ref<SensorActor>(SensorKey(sensor))
-      .WithPrincipal(TenantOf(t, sensor, false))
-      .CallWith(opts, &SensorActor::Insert, std::move(points));
+  Cluster* cluster = cluster_;
+  bool durable = client_options_.durable_acks;
+  Principal tenant = TenantOf(t, sensor, false);
+  std::string key = SensorKey(sensor);
+  auto shared_points = std::make_shared<std::vector<DataPoint>>(
+      std::move(points));
+  return RetryAsync<Status>(
+      cluster_->client_executor(), client_options_.retry, NextSeed(),
+      [cluster, opts, durable, tenant, key, shared_points] {
+        auto ref =
+            cluster->Ref<SensorActor>(key).WithPrincipal(tenant);
+        std::vector<DataPoint> batch = *shared_points;
+        return durable ? ref.CallWith(opts, &SensorActor::InsertDurable,
+                                      std::move(batch))
+                       : ref.CallWith(opts, &SensorActor::Insert,
+                                      std::move(batch));
+      },
+      IsTransient,
+      [this](const Status&) { insert_retries_.fetch_add(1); });
 }
 
 Future<std::vector<LiveDataEntry>> ShmPlatform::LiveData(const ShmTopology& t,
@@ -138,9 +155,18 @@ Future<std::vector<LiveDataEntry>> ShmPlatform::LiveData(const ShmTopology& t,
   // Response carries one entry per channel of the organization.
   opts.response_bytes =
       static_cast<int64_t>(t.sensors_per_org) * t.channels_per_sensor * 24;
-  return cluster_->Ref<OrganizationActor>(OrgKey(org))
-      .WithPrincipal(TenantOf(t, org, true))
-      .CallWith(opts, &OrganizationActor::LiveData);
+  Cluster* cluster = cluster_;
+  Principal tenant = TenantOf(t, org, true);
+  std::string key = OrgKey(org);
+  return RetryAsync<std::vector<LiveDataEntry>>(
+      cluster_->client_executor(), client_options_.retry, NextSeed(),
+      [cluster, opts, tenant, key] {
+        return cluster->Ref<OrganizationActor>(key)
+            .WithPrincipal(tenant)
+            .CallWith(opts, &OrganizationActor::LiveData);
+      },
+      IsTransient,
+      [this](const Status&) { insert_retries_.fetch_add(1); });
 }
 
 Future<RangeReply> ShmPlatform::RawRange(const ShmTopology& t, int sensor,
@@ -148,9 +174,18 @@ Future<RangeReply> ShmPlatform::RawRange(const ShmTopology& t, int sensor,
   CallOptions opts;
   opts.cost_us = kCostChannelRange;
   opts.response_bytes = 100 * kBytesPerPoint;
-  return cluster_->Ref<PhysicalChannelActor>(ChannelKey(sensor, channel))
-      .WithPrincipal(TenantOf(t, sensor, false))
-      .CallWith(opts, &PhysicalChannelActor::Range, from, to);
+  Cluster* cluster = cluster_;
+  Principal tenant = TenantOf(t, sensor, false);
+  std::string key = ChannelKey(sensor, channel);
+  return RetryAsync<RangeReply>(
+      cluster_->client_executor(), client_options_.retry, NextSeed(),
+      [cluster, opts, tenant, key, from, to] {
+        return cluster->Ref<PhysicalChannelActor>(key)
+            .WithPrincipal(tenant)
+            .CallWith(opts, &PhysicalChannelActor::Range, from, to);
+      },
+      IsTransient,
+      [this](const Status&) { insert_retries_.fetch_add(1); });
 }
 
 Future<std::vector<AggregateView>> ShmPlatform::HourAggregates(

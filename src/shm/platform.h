@@ -9,11 +9,13 @@
 #ifndef AODB_SHM_PLATFORM_H_
 #define AODB_SHM_PLATFORM_H_
 
+#include <atomic>
 #include <string>
 #include <vector>
 
 #include "actor/actor_ref.h"
 #include "actor/runtime.h"
+#include "common/retry.h"
 #include "shm/aggregator_actor.h"
 #include "shm/channel_actor.h"
 #include "shm/organization_actor.h"
@@ -48,10 +50,22 @@ struct ShmTopology {
   bool enable_indexing = false;
 };
 
+/// Client-side behaviour of the SHM facade under faults.
+struct ShmClientOptions {
+  /// When set, Insert uses the write-through path: the ack is issued only
+  /// after every channel has persisted its updated state, so acked packets
+  /// survive silo crashes (required by the chaos acceptance test).
+  bool durable_acks = false;
+  /// Client retry policy for inserts and reads (heals Unavailable from
+  /// crashed silos and dropped messages). Defaults to no retries.
+  RetryPolicy retry = RetryPolicy::None();
+};
+
 /// Client-side facade over the SHM actor database.
 class ShmPlatform {
  public:
-  explicit ShmPlatform(Cluster* cluster) : cluster_(cluster) {}
+  explicit ShmPlatform(Cluster* cluster, ShmClientOptions client_options = {})
+      : cluster_(cluster), client_options_(client_options) {}
 
   /// Registers every SHM actor type. `channel_persistence` configures the
   /// durability policy of sensors/channels (the §5 spectrum).
@@ -111,6 +125,10 @@ class ShmPlatform {
 
   Cluster& cluster() { return *cluster_; }
 
+  /// Client-side retries performed across all operations (inserts and
+  /// reads), for fault-injection tests and deterministic-replay checks.
+  int64_t insert_retries() const { return insert_retries_.load(); }
+
   /// Organization index owning `sensor`.
   static int OrgOf(const ShmTopology& t, int sensor) {
     return sensor / t.sensors_per_org;
@@ -126,7 +144,15 @@ class ShmPlatform {
     return Principal{OrgKey(org), "user"};
   }
 
+  /// Deterministic per-request seed for retry jitter.
+  uint64_t NextSeed() {
+    return cluster_->options().seed ^ (0x73686d63ULL + seed_seq_.fetch_add(1));
+  }
+
   Cluster* cluster_;
+  ShmClientOptions client_options_;
+  std::atomic<uint64_t> seed_seq_{0};
+  std::atomic<int64_t> insert_retries_{0};
 };
 
 }  // namespace shm

@@ -67,6 +67,15 @@ void SensorActor::SetPosition(double x, double y) {
 }
 
 Future<Status> SensorActor::Insert(std::vector<DataPoint> points) {
+  return InsertImpl(std::move(points), /*durable=*/false);
+}
+
+Future<Status> SensorActor::InsertDurable(std::vector<DataPoint> points) {
+  return InsertImpl(std::move(points), /*durable=*/true);
+}
+
+Future<Status> SensorActor::InsertImpl(std::vector<DataPoint> points,
+                                       bool durable) {
   SensorState& st = state();
   if (st.channel_keys.empty()) {
     return Future<Status>::FromValue(
@@ -86,10 +95,12 @@ Future<Status> SensorActor::Insert(std::vector<DataPoint> points) {
     CallOptions opts;
     opts.cost_us = kCostChannelAppend;
     opts.request_bytes = static_cast<int64_t>(batch.size()) * kBytesPerPoint;
-    acks.push_back(ctx()
-                       .Ref<PhysicalChannelActor>(st.channel_keys[c])
-                       .CallWith(opts, &PhysicalChannelActor::Append,
-                                 std::move(batch)));
+    auto ref = ctx().Ref<PhysicalChannelActor>(st.channel_keys[c]);
+    acks.push_back(
+        durable ? ref.CallWith(opts, &PhysicalChannelActor::AppendDurable,
+                               std::move(batch))
+                : ref.CallWith(opts, &PhysicalChannelActor::Append,
+                               std::move(batch)));
   }
   Promise<Status> done;
   WhenAll(acks).OnReady([done](Result<std::vector<Result<Status>>>&& r) {

@@ -91,10 +91,17 @@ class SensorActor : public PersistentActor<SensorState> {
   /// Completes when every channel has acknowledged its sub-batch.
   Future<Status> Insert(std::vector<DataPoint> points);
 
+  /// Insert with write-through acknowledgement: completes OK only after
+  /// every channel has made its updated state durable (AppendDurable), so
+  /// an acked packet survives a subsequent silo crash.
+  Future<Status> InsertDurable(std::vector<DataPoint> points);
+
   int64_t Packets();
   std::vector<std::string> ChannelKeys();
 
  private:
+  Future<Status> InsertImpl(std::vector<DataPoint> points, bool durable);
+
   friend class ShmPlatform;
 };
 

@@ -1,0 +1,88 @@
+// FaultyStateStorage: a decorator that injects the FaultInjector's storage
+// fault model (transient errors and latency spikes) in front of any real
+// StateStorage provider. Wrap the provider you register on the cluster:
+//
+//   auto faulty = std::make_shared<FaultyStateStorage>(inner, &injector);
+//   cluster.RegisterStateStorage("cloud", faulty);
+//
+// Faults fire before the inner provider is consulted, so an injected error
+// never reaches the backing store — exactly the shape of a request-level
+// storage-service failure that a client retry can heal.
+
+#ifndef AODB_STORAGE_FAULTY_STORAGE_H_
+#define AODB_STORAGE_FAULTY_STORAGE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "actor/fault.h"
+#include "storage/state_storage.h"
+
+namespace aodb {
+
+class FaultyStateStorage final : public StateStorage {
+ public:
+  /// Does not take ownership of `injector`; shares ownership of `inner`.
+  FaultyStateStorage(std::shared_ptr<StateStorage> inner,
+                     FaultInjector* injector)
+      : inner_(std::move(inner)), injector_(injector) {}
+
+  Future<Status> Write(const std::string& grain_key, std::string bytes,
+                       Executor* exec) override {
+    Status fault = injector_->NextStorageFault();
+    Micros delay = injector_->NextStorageDelay();
+    if (!fault.ok()) return Fail<Status>(fault, delay, exec);
+    if (delay > 0) return Delay(inner_->Write(grain_key, std::move(bytes), exec), delay, exec);
+    return inner_->Write(grain_key, std::move(bytes), exec);
+  }
+
+  Future<std::string> Read(const std::string& grain_key,
+                           Executor* exec) override {
+    Status fault = injector_->NextStorageFault();
+    Micros delay = injector_->NextStorageDelay();
+    if (!fault.ok()) return Fail<std::string>(fault, delay, exec);
+    if (delay > 0) return Delay(inner_->Read(grain_key, exec), delay, exec);
+    return inner_->Read(grain_key, exec);
+  }
+
+  Future<Status> Clear(const std::string& grain_key,
+                       Executor* exec) override {
+    Status fault = injector_->NextStorageFault();
+    Micros delay = injector_->NextStorageDelay();
+    if (!fault.ok()) return Fail<Status>(fault, delay, exec);
+    if (delay > 0) return Delay(inner_->Clear(grain_key, exec), delay, exec);
+    return inner_->Clear(grain_key, exec);
+  }
+
+  StateStorage* inner() const { return inner_.get(); }
+
+ private:
+  /// An injected failure still costs (at least) the spike latency: the
+  /// client waited on a request that eventually errored out.
+  template <typename T>
+  static Future<T> Fail(const Status& fault, Micros delay, Executor* exec) {
+    if (delay <= 0) return Future<T>::FromError(fault);
+    Promise<T> p;
+    exec->PostAfter(delay, [p, fault] { p.SetError(fault); });
+    return p.GetFuture();
+  }
+
+  /// Defers the inner result by `delay` (the latency spike).
+  template <typename T>
+  static Future<T> Delay(Future<T> f, Micros delay, Executor* exec) {
+    Promise<T> p;
+    f.OnReady([p, delay, exec](Result<T>&& r) {
+      auto shared = std::make_shared<Result<T>>(std::move(r));
+      exec->PostAfter(delay, [p, shared] { p.SetResult(std::move(*shared)); });
+    });
+    return p.GetFuture();
+  }
+
+  std::shared_ptr<StateStorage> inner_;
+  FaultInjector* injector_;
+};
+
+}  // namespace aodb
+
+#endif  // AODB_STORAGE_FAULTY_STORAGE_H_

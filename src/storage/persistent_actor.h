@@ -3,16 +3,28 @@
 // the actor reads its latest snapshot on activation and writes it back
 // according to a configurable durability policy — the spectrum discussed in
 // the paper's §5 (write per update, windowed, or only on deactivation).
+//
+// State reads and writes run under the shared RetryPolicy, so transient
+// storage failures (throttling, injected faults, flaky backends) are healed
+// transparently. Storage completion callbacks deliberately capture a shared
+// PersistCore — never the actor itself — so a write still in flight when
+// the hosting silo crashes (or the activation is reclaimed) completes
+// harmlessly against the detached core.
 
 #ifndef AODB_STORAGE_PERSISTENT_ACTOR_H_
 #define AODB_STORAGE_PERSISTENT_ACTOR_H_
 
+#include <deque>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 
 #include "actor/actor.h"
+#include "actor/retry_async.h"
 #include "common/codec.h"
 #include "common/logging.h"
+#include "common/retry.h"
 #include "storage/state_storage.h"
 
 namespace aodb {
@@ -38,6 +50,9 @@ struct PersistenceOptions {
   /// Name of the storage provider registered on the cluster. If the
   /// provider is missing the actor runs volatile (logged once).
   std::string provider = "default";
+  /// Retry policy for snapshot loads and writes (transient storage errors
+  /// only; NotFound and Corruption surface immediately).
+  RetryPolicy retry;
 };
 
 /// Base class for actors with durable state.
@@ -50,7 +65,8 @@ template <typename TState>
 class PersistentActor : public ActorBase {
  public:
   explicit PersistentActor(PersistenceOptions options = {})
-      : options_(std::move(options)) {}
+      : options_(std::move(options)),
+        core_(std::make_shared<PersistCore>()) {}
 
   /// Loads the latest snapshot (NotFound means a fresh grain).
   Future<Status> OnActivate() override {
@@ -59,9 +75,19 @@ class PersistentActor : public ActorBase {
     if (options_.policy == PersistPolicy::kWindowed) {
       ctx().SetTimer(kPersistTimerName, options_.window_interval_us);
     }
+    std::string key = ctx().self().ToString();
+    Executor* exec = ctx().executor();
+    auto core = core_;
     Promise<Status> done;
-    ss->Read(ctx().self().ToString(), ctx().executor())
+    RetryAsync<std::string>(
+        exec, options_.retry, NextOpSeed(),
+        [ss, key, exec] { return ss->Read(key, exec); }, IsTransient,
+        [core](const Status&) { core->BumpRetries(); })
         .OnReady([this, done](Result<std::string>&& r) {
+          // Safe to touch the actor here: the activation is pinned
+          // (kLoading) until OnActivate's future — completed below —
+          // resolves, and crashed silos park activations instead of
+          // destroying them.
           if (!r.ok()) {
             if (r.status().IsNotFound()) {
               done.SetValue(Status::OK());  // Fresh grain.
@@ -80,8 +106,8 @@ class PersistentActor : public ActorBase {
   Future<Status> OnDeactivate() override {
     bool need_flush;
     {
-      std::lock_guard<std::mutex> lock(persist_mu_);
-      need_flush = dirty_count_ > 0;
+      std::lock_guard<std::mutex> lock(core_->mu);
+      need_flush = core_->dirty_count > 0;
     }
     if (!need_flush) return Future<Status>::FromValue(Status::OK());
     return WriteStateAsync();
@@ -93,8 +119,8 @@ class PersistentActor : public ActorBase {
     if (name == kPersistTimerName) {
       bool need_flush;
       {
-        std::lock_guard<std::mutex> lock(persist_mu_);
-        need_flush = dirty_count_ > 0 && !write_pending_;
+        std::lock_guard<std::mutex> lock(core_->mu);
+        need_flush = core_->dirty_count > 0 && !core_->write_pending;
       }
       if (need_flush) WriteStateAsync();
       return;
@@ -118,14 +144,15 @@ class PersistentActor : public ActorBase {
   void MarkDirty() {
     bool flush = false;
     {
-      std::lock_guard<std::mutex> lock(persist_mu_);
-      ++dirty_count_;
+      std::lock_guard<std::mutex> lock(core_->mu);
+      ++core_->dirty_count;
       switch (options_.policy) {
         case PersistPolicy::kOnEveryUpdate:
-          flush = !write_pending_;
+          flush = !core_->write_pending;
           break;
         case PersistPolicy::kWindowed:
-          flush = dirty_count_ >= options_.window_updates && !write_pending_;
+          flush = core_->dirty_count >= options_.window_updates &&
+                  !core_->write_pending;
           break;
         case PersistPolicy::kOnDeactivate:
           break;
@@ -134,60 +161,141 @@ class PersistentActor : public ActorBase {
     if (flush) WriteStateAsync();
   }
 
-  /// Serializes the current state and writes it to the provider. Call from
-  /// within a turn. Returns the storage acknowledgement.
+  /// Serializes the current state and writes it to the provider (with
+  /// retries). Call from within a turn. Returns the storage
+  /// acknowledgement: OK means the snapshot is durable.
+  ///
+  /// Writes of one activation are serialized: a snapshot taken while an
+  /// earlier write is still in flight is queued and issued after it, so a
+  /// stale snapshot can never land on top of a newer one (which would
+  /// silently lose acknowledged updates).
   Future<Status> WriteStateAsync() {
     StateStorage* ss = provider();
     if (ss == nullptr) {
-      std::lock_guard<std::mutex> lock(persist_mu_);
-      dirty_count_ = 0;
+      std::lock_guard<std::mutex> lock(core_->mu);
+      core_->dirty_count = 0;
       return Future<Status>::FromValue(Status::OK());
     }
     BufWriter w;
     state_.Encode(&w);
-    int64_t flushed_marks;
+    QueuedWrite qw;
+    qw.bytes = w.Release();
+    qw.seed = NextOpSeed();
+    Future<Status> out = qw.done.GetFuture();
+    bool issue = false;
     {
-      std::lock_guard<std::mutex> lock(persist_mu_);
-      write_pending_ = true;
-      flushed_marks = dirty_count_;
+      std::lock_guard<std::mutex> lock(core_->mu);
+      qw.marks = core_->dirty_count - core_->marks_in_flight;
+      core_->marks_in_flight += qw.marks;
+      if (core_->write_pending) {
+        core_->queue.push_back(std::move(qw));
+      } else {
+        core_->write_pending = true;
+        issue = true;
+      }
     }
-    Promise<Status> done;
-    ss->Write(ctx().self().ToString(), w.Release(), ctx().executor())
-        .OnReady([this, done, flushed_marks](Result<Status>&& r) {
-          Status st = r.ok() ? r.value() : r.status();
-          {
-            std::lock_guard<std::mutex> lock(persist_mu_);
-            write_pending_ = false;
-            if (st.ok()) dirty_count_ -= flushed_marks;
-          }
-          if (!st.ok()) {
-            AODB_LOG(Debug, "state write failed: %s", st.ToString().c_str());
-          }
-          done.SetValue(st);
-        });
-    return done.GetFuture();
+    if (issue) {
+      IssueWrite(core_, ss, ctx().executor(), options_.retry,
+                 ctx().self().ToString(), std::move(qw));
+    }
+    return out;
   }
 
-  /// Number of storage writes this activation has acknowledged as clean
-  /// (diagnostic; dirty_count()==0 means fully persisted).
+  /// Unflushed dirty marks (diagnostic; 0 means fully persisted).
   int64_t dirty_count() const {
-    std::lock_guard<std::mutex> lock(persist_mu_);
-    return dirty_count_;
+    std::lock_guard<std::mutex> lock(core_->mu);
+    return core_->dirty_count;
+  }
+
+  /// Storage operations retried by this activation (loads and writes).
+  int64_t storage_retries() const {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    return core_->retries;
   }
 
  private:
+  /// One serialized state snapshot awaiting its turn on the wire. Snapshots
+  /// are encoded inside the actor turn that created them; everything after
+  /// that runs against the core only.
+  struct QueuedWrite {
+    std::string bytes;
+    int64_t marks = 0;
+    uint64_t seed = 0;
+    Promise<Status> done;
+  };
+
+  /// Persistence bookkeeping shared with in-flight storage callbacks, so
+  /// completions never dereference a possibly-reclaimed actor.
+  struct PersistCore {
+    mutable std::mutex mu;
+    int64_t dirty_count = 0;
+    /// Dirty marks claimed by the in-flight and queued writes.
+    int64_t marks_in_flight = 0;
+    bool write_pending = false;
+    std::deque<QueuedWrite> queue;
+    int64_t retries = 0;
+    uint64_t op_seq = 0;
+
+    void BumpRetries() {
+      std::lock_guard<std::mutex> lock(mu);
+      ++retries;
+    }
+  };
+
+  /// Issues one write (with retries) and, on completion, drains the next
+  /// queued snapshot. Static: captures no actor state.
+  static void IssueWrite(std::shared_ptr<PersistCore> core, StateStorage* ss,
+                         Executor* exec, RetryPolicy policy, std::string key,
+                         QueuedWrite qw) {
+    auto bytes = std::make_shared<std::string>(std::move(qw.bytes));
+    int64_t marks = qw.marks;
+    Promise<Status> done = qw.done;
+    RetryAsync<Status>(
+        exec, policy, qw.seed,
+        [ss, key, bytes, exec] { return ss->Write(key, *bytes, exec); },
+        IsTransient, [core](const Status&) { core->BumpRetries(); })
+        .OnReady([core, ss, exec, policy, key, marks,
+                  done](Result<Status>&& r) {
+          Status st = r.ok() ? r.value() : r.status();
+          std::optional<QueuedWrite> next;
+          {
+            std::lock_guard<std::mutex> lock(core->mu);
+            core->marks_in_flight -= marks;
+            if (st.ok()) core->dirty_count -= marks;
+            if (!core->queue.empty()) {
+              next.emplace(std::move(core->queue.front()));
+              core->queue.pop_front();
+            } else {
+              core->write_pending = false;
+            }
+          }
+          if (!st.ok()) {
+            AODB_LOG(Warn, "state write for %s failed permanently: %s",
+                     key.c_str(), st.ToString().c_str());
+          }
+          done.SetValue(st);
+          if (next.has_value()) {
+            IssueWrite(std::move(core), ss, exec, policy, std::move(key),
+                       std::move(*next));
+          }
+        });
+  }
+
   StateStorage* provider() const {
     if (!HasContext()) return nullptr;
     StateStorage* ss = ctx().storage(options_.provider);
     return ss;
   }
 
+  /// Deterministic per-operation seed for retry jitter.
+  uint64_t NextOpSeed() {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    return ActorIdHash()(ctx().self()) ^ (0x70657273ULL + ++core_->op_seq);
+  }
+
   const PersistenceOptions options_;
   TState state_;
-
-  mutable std::mutex persist_mu_;
-  int64_t dirty_count_ = 0;
-  bool write_pending_ = false;
+  std::shared_ptr<PersistCore> core_;
 };
 
 }  // namespace aodb

@@ -144,8 +144,10 @@ TEST_F(AodbFeaturesTest, ConcurrentConflictingTransfersSerialize) {
   // exactly 50: exactly five must commit.
   auto hub = harness_.cluster().Ref<AccountActor>("hub");
   Must(hub.Call(&AccountActor::Deposit, int64_t{50}));
-  TxnManager txn(&harness_.cluster(),
-                 TxnOptions{25, 10 * kMicrosPerMilli});
+  RetryPolicy txn_retry;
+  txn_retry.max_retries = 25;
+  txn_retry.initial_backoff_us = 10 * kMicrosPerMilli;
+  TxnManager txn(&harness_.cluster(), TxnOptions{txn_retry});
   std::vector<Future<Status>> transfers;
   for (int i = 0; i < 10; ++i) {
     transfers.push_back(txn.Run({
@@ -275,8 +277,11 @@ TEST_F(AodbFeaturesTest, WorkflowRetriesOnLockConflict) {
   Must(c.Call(&AccountActor::TxnPrepare, std::string("ghost-txn"),
               std::string("credit"), std::string("1")),
        kMicrosPerSecond);
-  WorkflowEngine engine(&harness_.cluster(),
-                        WorkflowOptions{10, 500 * kMicrosPerMilli});
+  RetryPolicy wf_retry;
+  wf_retry.max_retries = 10;
+  wf_retry.initial_backoff_us = 500 * kMicrosPerMilli;
+  wf_retry.max_backoff_us = 2 * kMicrosPerSecond;
+  WorkflowEngine engine(&harness_.cluster(), WorkflowOptions{wf_retry});
   auto f = engine.Run({WorkflowStep{AccountActor::kTypeName, "wf-c",
                                     "credit", "5", "", ""}});
   harness_.RunFor(30 * kMicrosPerSecond);
@@ -284,6 +289,46 @@ TEST_F(AodbFeaturesTest, WorkflowRetriesOnLockConflict) {
   ASSERT_TRUE(st.ok());
   EXPECT_TRUE(st.value().ok()) << st.value().ToString();
   EXPECT_GT(engine.retries(), 0);
+}
+
+TEST_F(AodbFeaturesTest, StaleLockIsBrokenAfterTimeoutAndUnstagesEveryOp) {
+  auto a = harness_.cluster().Ref<AccountActor>("stale");
+  Must(a.Call(&AccountActor::Deposit, int64_t{100}));
+  // A coordinator that crashes right after prepare: stage two debits under
+  // one transaction and never send phase 2.
+  // Short RunFor steps: the lock must still be fresh (5 s timeout) when the
+  // competing prepare arrives below.
+  EXPECT_TRUE(Must(a.Call(&AccountActor::TxnPrepare, std::string("dead-txn"),
+                          std::string("debit"), std::string("30")),
+                   kMicrosPerSecond)
+                  .ok());
+  EXPECT_TRUE(Must(a.Call(&AccountActor::TxnPrepare, std::string("dead-txn"),
+                          std::string("debit"), std::string("30")),
+                   kMicrosPerSecond)
+                  .ok());
+  EXPECT_TRUE(Must(a.Call(&AccountActor::TxnLocked), kMicrosPerSecond));
+  // While the lock is fresh, a competing prepare must abort.
+  EXPECT_TRUE(Must(a.Call(&AccountActor::TxnPrepare, std::string("early"),
+                          std::string("debit"), std::string("10")),
+                   kMicrosPerSecond)
+                  .IsAborted());
+  harness_.RunFor(TransactionalActor::kLockTimeoutUs + kMicrosPerSecond);
+  // The next prepare breaks the stale lock. Both staged debits (60 in
+  // reservations) must have been unstaged — a debit of 80 only validates
+  // against the 100 balance if no reservation leaked.
+  EXPECT_TRUE(Must(a.Call(&AccountActor::TxnPrepare, std::string("fresh"),
+                          std::string("debit"), std::string("80")))
+                  .ok());
+  a.Tell(&AccountActor::TxnCommit, std::string("fresh"));
+  harness_.RunFor(kMicrosPerSecond);
+  EXPECT_EQ(Must(a.Call(&AccountActor::Balance)), 20)
+      << "only the fresh transaction's debit applies";
+  // And the dead transaction's ops must never apply, even if its
+  // coordinator wakes up and commits after the break.
+  a.Tell(&AccountActor::TxnCommit, std::string("dead-txn"));
+  harness_.RunFor(kMicrosPerSecond);
+  EXPECT_EQ(Must(a.Call(&AccountActor::Balance)), 20);
+  EXPECT_FALSE(Must(a.Call(&AccountActor::TxnLocked)));
 }
 
 }  // namespace

@@ -248,6 +248,46 @@ TEST(CloudKvTest, SustainedOverloadThrottles) {
   EXPECT_GT(cloud.throttled(), 0);
 }
 
+TEST(CloudKvTest, RejectedWritesRefundCapacitySoItRecovers) {
+  SimHarness harness(RuntimeOptions{});
+  MemKvStore backing;
+  CloudKvOptions opts;
+  opts.write_units_per_sec = 10;
+  opts.max_throttle_wait_us = 100 * kMicrosPerMilli;
+  CloudKvStateStorage cloud(&backing, opts);
+  Executor* exec = harness.client_executor();
+
+  // Phase 1: sustained 10x overload. Rejected writes must Refund their
+  // reservation — otherwise the bucket's deficit would grow by the full
+  // offered load and never drain.
+  int accepted = 0, rejected = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto w = cloud.Write("hot" + std::to_string(i), "x", exec);
+    if (w.Ready() && !w.Get().ok()) {
+      ++rejected;
+    } else {
+      ++accepted;
+    }
+  }
+  harness.RunFor(10 * kMicrosPerSecond);
+  EXPECT_GT(rejected, 50);
+  EXPECT_EQ(cloud.throttled(), rejected);
+
+  // Phase 2: after a quiet second the bucket must have recovered enough
+  // for a fresh write to be admitted immediately. Without the refunds the
+  // accumulated deficit (~90 units at 10 units/s) would throttle for
+  // several more seconds.
+  harness.RunFor(kMicrosPerSecond);
+  int64_t throttled_before = cloud.throttled();
+  auto recovered = cloud.Write("after-storm", "x", exec);
+  harness.RunFor(kMicrosPerSecond);
+  ASSERT_TRUE(recovered.Ready());
+  EXPECT_TRUE(recovered.Get().value().ok())
+      << "capacity must recover once rejected reservations are refunded";
+  EXPECT_EQ(cloud.throttled(), throttled_before);
+  EXPECT_EQ(backing.Get("grain/after-storm").value(), "x");
+}
+
 // --- Persistence policies --------------------------------------------------------
 
 struct CounterState {
