@@ -71,7 +71,7 @@ ModeResult RunMode(const Mode& mode) {
   shm::ShmPlatform::ApplyPaperPlacement(cluster);
 
   FaultPlan plan;
-  plan.seed = 2026;
+  plan.seed = 7;
   plan.crashes.push_back(SiloCrashEvent{/*at_us=*/3 * kMicrosPerSecond,
                                         /*silo=*/1,
                                         /*restart_after_us=*/3 *
@@ -188,7 +188,7 @@ int main() {
 
   std::printf("=== Chaos recovery: SHM ingestion through silo crash ===\n");
   std::printf(
-      "%d sensors x %d rounds; seed-42 cluster, seed-2026 fault plan:\n"
+      "%d sensors x %d rounds; seed-42 cluster, seed-7 fault plan:\n"
       "silo 1 killed at t+3s (restarts 3s later), 1%% message drop,\n"
       "0.5%% duplication, 5%% transient storage errors.\n\n",
       kSensors, kRounds);

@@ -26,7 +26,8 @@ int main() {
               "grows with load\n\n");
 
   TablePrinter table({"sensors", "raw_reqs", "mean_ms", "p50_ms", "p90_ms",
-                      "p99_ms", "p99.9_ms", "max_ms", "util%"});
+                      "p99_ms", "p99.9_ms", "max_ms", "util%", "req_B/op",
+                      "rsp_B/op"});
 
   const int kSweep[] = {500, 1000, 1500, 2000};
   for (int sensors : kSweep) {
@@ -51,7 +52,19 @@ int main() {
                   TablePrinter::FmtMsFromUs(h.Percentile(99)),
                   TablePrinter::FmtMsFromUs(h.Percentile(99.9)),
                   TablePrinter::FmtMsFromUs(h.max()),
-                  TablePrinter::Fmt(r.utilization * 100, 1)});
+                  TablePrinter::Fmt(r.utilization * 100, 1),
+                  // Measured mean encoded frame sizes (not the calibrated
+                  // request_bytes/response_bytes constants): every client
+                  // operation crosses the client->silo boundary on the wire
+                  // lane, so per-op bytes are wire totals over wire counts.
+                  TablePrinter::Fmt(
+                      r.wire.wire_requests > 0
+                          ? r.wire.wire_request_bytes / r.wire.wire_requests
+                          : 0),
+                  TablePrinter::Fmt(
+                      r.wire.wire_replies > 0
+                          ? r.wire.wire_reply_bytes / r.wire.wire_replies
+                          : 0)});
   }
   table.Print();
   std::printf(

@@ -39,6 +39,10 @@ struct ShmRunResult {
   LoadGenReport report;
   /// Mean CPU utilization across silos during the measurement interval.
   double utilization = 0;
+  /// Wire-lane traffic (measured encoded frame sizes) over the load
+  /// interval only; mean request/reply bytes per remote call follow from
+  /// wire_request_bytes / wire_requests.
+  WireStats wire;
   bool setup_ok = false;
   bool drained = false;
 };
@@ -67,6 +71,7 @@ inline ShmRunResult RunShmExperiment(const ShmRunConfig& config) {
   for (int i = 0; i < config.runtime.num_silos; ++i) {
     busy_before.push_back(harness.silo_executor(i)->Stats().busy_us);
   }
+  WireStats wire_before = harness.cluster().wire_stats();
   Micros load_start = harness.Now();
 
   ShmLoadGen gen(&platform, config.topology, harness.client_executor(),
@@ -88,6 +93,20 @@ inline ShmRunResult RunShmExperiment(const ShmRunConfig& config) {
   // can slightly exceed 1 at saturation; clamp for reporting.
   result.utilization =
       capacity > 0 ? std::min(1.0, total_busy / capacity) : 0;
+  WireStats wire_after = harness.cluster().wire_stats();
+  result.wire.local_closure_sends =
+      wire_after.local_closure_sends - wire_before.local_closure_sends;
+  result.wire.wire_requests =
+      wire_after.wire_requests - wire_before.wire_requests;
+  result.wire.wire_request_bytes =
+      wire_after.wire_request_bytes - wire_before.wire_request_bytes;
+  result.wire.wire_replies = wire_after.wire_replies - wire_before.wire_replies;
+  result.wire.wire_reply_bytes =
+      wire_after.wire_reply_bytes - wire_before.wire_reply_bytes;
+  result.wire.closure_fallbacks =
+      wire_after.closure_fallbacks - wire_before.closure_fallbacks;
+  result.wire.decode_failures =
+      wire_after.decode_failures - wire_before.decode_failures;
   result.report = gen.Finish();
   return result;
 }

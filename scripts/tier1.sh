@@ -20,8 +20,9 @@ fi
 cmake -B build-asan -S . -DAODB_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   >/dev/null
 cmake --build build-asan -j --target \
-  fault_injection_test aodb_features_test storage_test real_mode_stress_test
+  fault_injection_test aodb_features_test storage_test real_mode_stress_test \
+  wire_registry_test
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-  -R 'fault_injection_test|aodb_features_test|storage_test|real_mode_stress_test'
+  -R 'fault_injection_test|aodb_features_test|storage_test|real_mode_stress_test|wire_registry_test'
 
 echo "tier1: all green (plain + sanitized)"

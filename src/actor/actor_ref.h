@@ -19,27 +19,10 @@
 #include "actor/cluster.h"
 #include "actor/envelope.h"
 #include "actor/future.h"
+#include "actor/method_registry.h"
+#include "common/wire.h"
 
 namespace aodb {
-
-namespace internal {
-
-/// Maps an actor method's return type R to the value type of the Future
-/// returned by Call.
-template <typename R>
-struct CallResult {
-  using type = R;
-};
-template <>
-struct CallResult<void> {
-  using type = Unit;
-};
-template <typename U>
-struct CallResult<Future<U>> {
-  using type = U;
-};
-
-}  // namespace internal
 
 /// Per-call overrides: simulated CPU cost and wire size of the request.
 struct CallOptions {
@@ -135,6 +118,24 @@ class ActorRef {
       }
     };
     env.fail = [promise](const Status& st) { promise.SetError(st); };
+    // Wire lane: only when the full signature is wire-encodable (checked at
+    // compile time — unserializable test actors simply never take it) AND
+    // the method is registered. Cluster::Send picks the lane after
+    // placement; arguments are encoded lazily on an actual remote hop.
+    if constexpr (WireSupported<RT, std::decay_t<MArgs>...>::value) {
+      if (const WireMethodInfo* info =
+              MethodRegistry::Global().Find(method)) {
+        env.wire = info;
+        env.wire_encode_args = [args_tuple] {
+          BufWriter w;
+          WireEncodeTuple(&w, *args_tuple);
+          return w.Release();
+        };
+        env.on_wire_reply = [promise](Result<std::string>&& frame) {
+          promise.SetResult(DecodeWireReply<RT>(std::move(frame)));
+        };
+      }
+    }
     cluster_->Send(std::move(env));
     return promise.GetFuture();
   }
@@ -165,6 +166,19 @@ class ActorRef {
       std::apply([&](auto&... unpacked) { (void)(actor.*method)(unpacked...); },
                  *args_tuple);
     };
+    // Wire lane for tells: no reply handler — the receive-side invoker
+    // skips result encoding when the reply hook is empty.
+    if constexpr (WireSupported<std::decay_t<MArgs>...>::value) {
+      if (const WireMethodInfo* info =
+              MethodRegistry::Global().Find(method)) {
+        env.wire = info;
+        env.wire_encode_args = [args_tuple] {
+          BufWriter w;
+          WireEncodeTuple(&w, *args_tuple);
+          return w.Release();
+        };
+      }
+    }
     cluster_->Send(std::move(env));
   }
 

@@ -1,9 +1,12 @@
 #include "actor/cluster.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "actor/fault.h"
+#include "actor/method_registry.h"
 #include "actor/thread_pool.h"
+#include "actor/wire_format.h"
 #include "common/codec.h"
 #include "common/logging.h"
 
@@ -64,6 +67,9 @@ void Cluster::Send(Envelope env) {
     return;
   }
   if (from == target) {
+    // Same-silo fast path: the closure lane passes pointers — no
+    // serialization, no network model.
+    local_closure_sends_.fetch_add(1, std::memory_order_relaxed);
     silo->Deliver(std::move(env));
     return;
   }
@@ -77,6 +83,24 @@ void Cluster::Send(Envelope env) {
   }
   bool duplicate =
       injector != nullptr && injector->ShouldDuplicateMessage();
+  if (env.wire != nullptr && env.wire_encode_args) {
+    SendWire(std::move(env), from, target, duplicate);
+    return;
+  }
+  // Closure lane for a remote send: only legal when the method has no wire
+  // registration (tests and ad-hoc actors). A real network cannot ship
+  // closures, so strict deployments fail fast instead.
+  if (options_.wire.require_wire) {
+    AODB_LOG(Error, "cross-silo send to %s has no wire registration",
+             env.target.ToString().c_str());
+    if (env.fail) {
+      env.fail(Status::FailedPrecondition(
+          "no wire registration for cross-silo call to actor type " +
+          env.target.type));
+    }
+    return;
+  }
+  closure_fallbacks_.fetch_add(1, std::memory_order_relaxed);
   env.cost_us += options_.network.serialization_cost_us;
   Executor* exec = silo_executors_[target];
   if (duplicate) {
@@ -97,6 +121,119 @@ void Cluster::Send(Envelope env) {
   });
 }
 
+void Cluster::SendWire(Envelope env, SiloId from, SiloId target,
+                       bool duplicate) {
+  WireRequest req;
+  req.target = env.target;
+  req.principal = env.principal;
+  req.method_id = env.wire->id;
+  req.cost_us = env.cost_us;
+  req.args = env.wire_encode_args();
+  auto frame = std::make_shared<std::string>(WireEncodeRequest(req));
+  if (FaultInjector* injector = fault_injector()) {
+    injector->MaybeCorruptFrame(frame.get());
+  }
+  int64_t bytes = static_cast<int64_t>(frame->size());
+  // The measured frame size — not an estimate — is what the network model
+  // charges transfer time for.
+  env.approx_bytes = bytes;
+  wire_requests_.fetch_add(1, std::memory_order_relaxed);
+  wire_request_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  Executor* exec = silo_executors_[target];
+  Cluster* self = this;
+  WireReplyHandler reply = std::move(env.on_wire_reply);
+  auto deliver = [self, target, from, frame, reply] {
+    self->DeliverWireFrame(target, from, frame, reply);
+  };
+  if (duplicate) {
+    // Retransmission anomaly: the same frame arrives twice, the method runs
+    // twice, and the duplicate reply is dropped by the caller's promise
+    // (first fulfillment wins; see PromiseDuplicatesDropped).
+    Micros dup_arrival =
+        network_.FifoArrival(from, target, bytes, exec->clock()->Now());
+    exec->PostAt(dup_arrival, deliver);
+  }
+  Micros arrival =
+      network_.FifoArrival(from, target, bytes, exec->clock()->Now());
+  exec->PostAt(arrival, deliver);
+}
+
+void Cluster::DeliverWireFrame(SiloId target, SiloId caller_silo,
+                               std::shared_ptr<const std::string> frame,
+                               WireReplyHandler reply) {
+  auto req = std::make_shared<WireRequest>();
+  Status st = WireDecodeRequest(*frame, req.get());
+  const WireMethodEntry* entry = nullptr;
+  if (st.ok()) {
+    entry = MethodRegistry::Global().FindEntry(req->target.type,
+                                               req->method_id);
+    if (entry == nullptr) {
+      st = Status::FailedPrecondition(
+          "no wire method registered for type " + req->target.type + " (id " +
+          std::to_string(req->method_id) + ")");
+    }
+  }
+  if (!st.ok()) {
+    wire_decode_failures_.fetch_add(1, std::memory_order_relaxed);
+    AODB_LOG(Warn, "wire request rejected: %s", st.ToString().c_str());
+    if (reply) {
+      // The receiver cannot even parse the request, so the error reply is
+      // the type-erased branch of the Result encoding.
+      BufWriter w;
+      WireEncodeResult<Unit>(&w, Result<Unit>::FromError(st));
+      SendWireReply(target, caller_silo, reply, w.Release());
+    }
+    return;
+  }
+  Silo* silo = silos_[target].get();
+  Envelope env;
+  env.target = req->target;
+  env.caller_silo = caller_silo;
+  env.principal = req->principal;
+  env.cost_us = req->cost_us + options_.network.serialization_cost_us;
+  env.approx_bytes = static_cast<int64_t>(frame->size());
+  // Keep the wire capability on the dispatch envelope: if the silo reroutes
+  // it (deactivation race, crash), the resend stays on the wire lane with
+  // the cached argument payload instead of silently upgrading to closures.
+  env.wire = &entry->info;
+  auto args = std::make_shared<const std::string>(std::move(req->args));
+  env.wire_encode_args = [args] { return *args; };
+  env.on_wire_reply = reply;
+  Cluster* self = this;
+  env.fn = [self, entry, args, reply, caller_silo](ActorBase& base) {
+    SiloId here = base.ctx().silo();
+    WireReplyFn send_reply;
+    if (reply) {
+      send_reply = [self, here, caller_silo, reply](std::string payload) {
+        self->SendWireReply(here, caller_silo, reply, std::move(payload));
+      };
+    }
+    BufReader r(*args);
+    entry->invoke(base, r, send_reply);
+  };
+  if (reply) {
+    env.fail = [reply](const Status& fail_st) {
+      reply(Result<std::string>::FromError(fail_st));
+    };
+  }
+  silo->Deliver(std::move(env));
+}
+
+void Cluster::SendWireReply(SiloId from, SiloId to,
+                            const WireReplyHandler& reply,
+                            std::string result_payload) {
+  std::string frame = WireEncodeReply(std::move(result_payload));
+  if (FaultInjector* injector = fault_injector()) {
+    if (from != to) injector->MaybeCorruptFrame(&frame);
+  }
+  int64_t bytes = static_cast<int64_t>(frame.size());
+  wire_replies_.fetch_add(1, std::memory_order_relaxed);
+  wire_reply_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  SendReply(from, to, bytes, [reply, frame = std::move(frame)]() mutable {
+    reply(Result<std::string>(std::move(frame)));
+  });
+}
+
 void Cluster::SendReply(SiloId from, SiloId to, int64_t bytes,
                         std::function<void()> fn) {
   if (from == to) {
@@ -106,6 +243,39 @@ void Cluster::SendReply(SiloId from, SiloId to, int64_t bytes,
   Executor* exec = ExecutorFor(to);
   Micros arrival = network_.FifoArrival(from, to, bytes, exec->clock()->Now());
   exec->PostAt(arrival, std::move(fn));
+}
+
+WireStats Cluster::wire_stats() const {
+  WireStats s;
+  s.local_closure_sends = local_closure_sends_.load(std::memory_order_relaxed);
+  s.wire_requests = wire_requests_.load(std::memory_order_relaxed);
+  s.wire_request_bytes = wire_request_bytes_.load(std::memory_order_relaxed);
+  s.wire_replies = wire_replies_.load(std::memory_order_relaxed);
+  s.wire_reply_bytes = wire_reply_bytes_.load(std::memory_order_relaxed);
+  s.closure_fallbacks = closure_fallbacks_.load(std::memory_order_relaxed);
+  s.decode_failures = wire_decode_failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Status Cluster::CheckWireRegistry() const {
+  std::vector<std::string> uncovered;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [type, factory] : factories_) {
+      if (MethodRegistry::Global().MethodCount(type) == 0) {
+        uncovered.push_back(type);
+      }
+    }
+  }
+  if (uncovered.empty()) return Status::OK();
+  std::sort(uncovered.begin(), uncovered.end());
+  std::string joined;
+  for (const std::string& type : uncovered) {
+    if (!joined.empty()) joined += ", ";
+    joined += type;
+  }
+  return Status::FailedPrecondition(
+      "actor types with no wire-registered methods: " + joined);
 }
 
 const Cluster::Factory* Cluster::GetFactory(const std::string& type) const {

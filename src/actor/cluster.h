@@ -27,6 +27,24 @@ template <typename T>
 class ActorRef;
 class FaultInjector;
 class StateStorage;
+struct WireMethodEntry;
+
+/// Snapshot of the cluster's invocation-lane counters. Request/reply byte
+/// totals are measured encoded frame sizes, not estimates — the same
+/// numbers the network model charges transfer time for.
+struct WireStats {
+  int64_t local_closure_sends = 0;  ///< Same-silo sends (zero-copy lane).
+  int64_t wire_requests = 0;        ///< Remote sends on the wire lane.
+  int64_t wire_request_bytes = 0;
+  int64_t wire_replies = 0;
+  int64_t wire_reply_bytes = 0;
+  /// Remote sends of methods without a wire registration that used the
+  /// closure lane (zero when all remotely invoked methods are registered).
+  int64_t closure_fallbacks = 0;
+  /// Received wire frames rejected before dispatch (corruption, unknown
+  /// method).
+  int64_t decode_failures = 0;
+};
 
 /// A running actor-oriented database cluster.
 ///
@@ -158,11 +176,35 @@ class Cluster {
   size_t TotalActivations() const;
   int64_t TotalMessagesProcessed() const;
 
+  /// Current invocation-lane counters (monotonic).
+  WireStats wire_stats() const;
+
+  /// Registry completeness check for fail-fast startup: every registered
+  /// actor type must have at least one wire-registered method. Returns
+  /// FailedPrecondition naming the uncovered types otherwise. Test fixtures
+  /// assert this at cluster start.
+  Status CheckWireRegistry() const;
+
  private:
   struct ReminderEntry {
     std::shared_ptr<bool> alive;
     Micros period_us = 0;
   };
+
+  using WireReplyHandler = std::function<void(Result<std::string>&&)>;
+
+  /// Remote send on the wire lane: encodes the request frame, charges the
+  /// network model the measured byte count, and schedules decode + dispatch
+  /// on the target silo.
+  void SendWire(Envelope env, SiloId from, SiloId target, bool duplicate);
+  /// Runs on the target executor: verifies and decodes the frame, resolves
+  /// the method in the registry, and delivers a dispatch envelope.
+  void DeliverWireFrame(SiloId target, SiloId caller_silo,
+                        std::shared_ptr<const std::string> frame,
+                        WireReplyHandler reply);
+  /// Seals and ships an encoded Result payload back to the caller node.
+  void SendWireReply(SiloId from, SiloId to, const WireReplyHandler& reply,
+                     std::string result_payload);
 
   void ScheduleReminder(const ActorId& id, const std::string& name,
                         Micros period_us, std::shared_ptr<bool> alive);
@@ -177,6 +219,14 @@ class Cluster {
   NetworkModel network_;
   std::vector<std::unique_ptr<Silo>> silos_;
   std::atomic<FaultInjector*> fault_injector_{nullptr};
+
+  std::atomic<int64_t> local_closure_sends_{0};
+  std::atomic<int64_t> wire_requests_{0};
+  std::atomic<int64_t> wire_request_bytes_{0};
+  std::atomic<int64_t> wire_replies_{0};
+  std::atomic<int64_t> wire_reply_bytes_{0};
+  std::atomic<int64_t> closure_fallbacks_{0};
+  std::atomic<int64_t> wire_decode_failures_{0};
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, Factory> factories_;

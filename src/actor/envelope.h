@@ -6,13 +6,16 @@
 #define AODB_ACTOR_ENVELOPE_H_
 
 #include <functional>
+#include <string>
 
 #include "actor/actor_id.h"
 #include "common/clock.h"
+#include "common/status.h"
 
 namespace aodb {
 
 class ActorBase;
+struct WireMethodInfo;
 
 /// Default simulated CPU cost of applying one message, when the caller does
 /// not specify one. Calibration notes live in src/actor/cost_model.h.
@@ -34,6 +37,26 @@ struct Envelope {
   /// the target type is unregistered or activation failed). Calls created
   /// through ActorRef wire this to the caller's promise.
   std::function<void(const Status&)> fail;
+
+  // --- Wire lane (cross-silo serialized dispatch) ---------------------------
+  //
+  // Both lanes ride in the envelope because the send side cannot know the
+  // target silo before placement: Cluster::Send picks the closure lane for
+  // same-silo delivery (zero-copy fast path) and the wire lane for remote
+  // delivery. Arguments are encoded lazily — only when a remote hop actually
+  // happens — so local sends never pay for serialization.
+
+  /// Registration of the invoked method, or nullptr if the method has no
+  /// wire registration (remote sends then fall back to the closure lane,
+  /// or fail fast under WireOptions::require_wire).
+  const WireMethodInfo* wire = nullptr;
+  /// Lazily encodes the argument tuple (WireEncodeTuple of the decayed
+  /// argument pack).
+  std::function<std::string()> wire_encode_args;
+  /// Caller-side completion for wire calls: receives the sealed reply frame
+  /// or a transport error, decodes Result<T>, and settles the promise.
+  /// Empty for tells.
+  std::function<void(Result<std::string>&&)> on_wire_reply;
 };
 
 }  // namespace aodb

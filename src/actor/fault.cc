@@ -51,6 +51,33 @@ bool FaultInjector::ShouldDuplicateMessage() {
   return dup;
 }
 
+bool FaultInjector::MaybeCorruptFrame(std::string* frame) {
+  if (plan_.message.corrupt_prob <= 0 || frame->empty()) return false;
+  bool corrupt;
+  uint64_t pick = 0;
+  uint64_t bit = 0;
+  {
+    std::lock_guard<std::mutex> lock(message_mu_);
+    corrupt = message_rng_.Bernoulli(plan_.message.corrupt_prob);
+    if (corrupt) {
+      // One draw covers both mutation kinds: values below the frame size
+      // flip a bit at that offset, values at or above it truncate the frame
+      // to (pick - size) bytes.
+      pick = message_rng_.NextBelow(frame->size() * 2);
+      bit = message_rng_.NextBelow(8);
+    }
+  }
+  if (!corrupt) return false;
+  if (pick < frame->size()) {
+    (*frame)[pick] = static_cast<char>(
+        static_cast<uint8_t>((*frame)[pick]) ^ (1u << bit));
+  } else {
+    frame->resize(pick - frame->size());
+  }
+  messages_corrupted_.fetch_add(1);
+  return true;
+}
+
 Status FaultInjector::NextStorageFault() {
   if (plan_.storage.error_prob <= 0) return Status::OK();
   bool fail;

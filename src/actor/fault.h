@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "actor/actor_id.h"
@@ -45,6 +46,11 @@ struct MessageFaults {
   /// Probability a delivered message is delivered twice (at-least-once
   /// semantics under retransmission).
   double duplicate_prob = 0;
+  /// Probability a wire frame (request or reply) is corrupted in flight —
+  /// a flipped bit or a truncated tail. The CRC seal guarantees corruption
+  /// surfaces as Status::Corruption at the decoding end, never as undefined
+  /// behavior in a decoder.
+  double corrupt_prob = 0;
 };
 
 /// Transient-failure model of the storage tier, consumed by
@@ -91,6 +97,9 @@ class FaultInjector {
   bool ShouldDropMessage();
   /// True if this remote message should additionally be delivered twice.
   bool ShouldDuplicateMessage();
+  /// Possibly corrupts an encoded wire frame in place (flips one bit or
+  /// truncates the tail). Returns true if the frame was mutated.
+  bool MaybeCorruptFrame(std::string* frame);
 
   // --- Storage hooks (called by FaultyStateStorage) -----------------------
 
@@ -107,6 +116,7 @@ class FaultInjector {
 
   int64_t messages_dropped() const { return messages_dropped_.load(); }
   int64_t messages_duplicated() const { return messages_duplicated_.load(); }
+  int64_t messages_corrupted() const { return messages_corrupted_.load(); }
   int64_t storage_errors() const { return storage_errors_.load(); }
   int64_t storage_spikes() const { return storage_spikes_.load(); }
   int64_t silo_kills() const { return silo_kills_.load(); }
@@ -124,6 +134,7 @@ class FaultInjector {
 
   std::atomic<int64_t> messages_dropped_{0};
   std::atomic<int64_t> messages_duplicated_{0};
+  std::atomic<int64_t> messages_corrupted_{0};
   std::atomic<int64_t> storage_errors_{0};
   std::atomic<int64_t> storage_spikes_{0};
   std::atomic<int64_t> silo_kills_{0};

@@ -8,6 +8,7 @@
 #ifndef AODB_ACTOR_FUTURE_H_
 #define AODB_ACTOR_FUTURE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <functional>
@@ -28,6 +29,14 @@ struct Unit {
 
 namespace internal {
 
+/// Process-wide count of promise completions dropped because a result was
+/// already set — duplicate message delivery under fault injection, timeout
+/// races. Observable via PromiseDuplicatesDropped().
+inline std::atomic<int64_t>& DuplicateCompletions() {
+  static std::atomic<int64_t> counter{0};
+  return counter;
+}
+
 template <typename T>
 struct FutureState {
   std::mutex mu;
@@ -39,7 +48,11 @@ struct FutureState {
     std::vector<std::function<void(Result<T>&&)>> cbs;
     {
       std::lock_guard<std::mutex> lock(mu);
-      if (result.has_value()) return;  // First fulfillment wins.
+      if (result.has_value()) {
+        // First fulfillment wins; the duplicate is counted and dropped.
+        DuplicateCompletions().fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
       result.emplace(std::move(r));
       cbs.swap(callbacks);
       cv.notify_all();
@@ -52,6 +65,12 @@ struct FutureState {
 };
 
 }  // namespace internal
+
+/// Number of promise completions dropped so far in this process because the
+/// promise was already fulfilled (monotonic).
+inline int64_t PromiseDuplicatesDropped() {
+  return internal::DuplicateCompletions().load(std::memory_order_relaxed);
+}
 
 template <typename T>
 class Promise;

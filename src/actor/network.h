@@ -5,6 +5,7 @@
 #ifndef AODB_ACTOR_NETWORK_H_
 #define AODB_ACTOR_NETWORK_H_
 
+#include <atomic>
 #include <mutex>
 #include <unordered_map>
 
@@ -22,7 +23,7 @@ namespace aodb {
 class NetworkModel {
  public:
   NetworkModel(const NetworkOptions& options, uint64_t seed)
-      : options_(options), rng_(seed) {}
+      : options_(options), jitter_seed_(seed) {}
 
   /// Raw one-way delay in microseconds for a message of `bytes` from node
   /// `from` to node `to` (no FIFO clamping). Either may be kClientSiloId.
@@ -33,13 +34,7 @@ class NetworkModel {
                       : options_.silo_latency_us;
     Micros transfer = static_cast<Micros>(
         static_cast<double>(bytes) / options_.bytes_per_us);
-    Micros jitter = 0;
-    if (options_.jitter_us > 0) {
-      std::lock_guard<std::mutex> lock(mu_);
-      jitter = static_cast<Micros>(
-          rng_.NextBelow(static_cast<uint64_t>(options_.jitter_us)));
-    }
-    return base + transfer + jitter;
+    return base + transfer + NextJitter();
   }
 
   /// Absolute arrival time of a message sent at `now`, clamped strictly
@@ -61,9 +56,20 @@ class NetworkModel {
            static_cast<uint32_t>(to);
   }
 
+  /// Per-message jitter derived by hashing a relaxed atomic sequence number
+  /// (one SplitMix64 step), so the hot send path takes only the FIFO lock —
+  /// not a second mutex around a shared RNG. Deterministic under the
+  /// single-threaded simulator.
+  Micros NextJitter() {
+    if (options_.jitter_us <= 0) return 0;
+    uint64_t n = jitter_seq_.fetch_add(1, std::memory_order_relaxed);
+    return static_cast<Micros>(Rng(jitter_seed_ + n).NextU64() %
+                               static_cast<uint64_t>(options_.jitter_us));
+  }
+
   const NetworkOptions options_;
-  std::mutex mu_;
-  Rng rng_;
+  const uint64_t jitter_seed_;
+  std::atomic<uint64_t> jitter_seq_{0};
   std::mutex fifo_mu_;
   std::unordered_map<uint64_t, Micros> last_arrival_;
 };

@@ -39,6 +39,15 @@ struct NetworkOptions {
   Micros serialization_cost_us = 40;
 };
 
+/// Configuration of the wire (serialized invocation) lane.
+struct WireOptions {
+  /// When true, a cross-silo send of a method with no MethodRegistry
+  /// registration fails fast with FailedPrecondition naming the actor type,
+  /// instead of falling back to the closure lane. Test fixtures enable this
+  /// so unregistered methods are caught at their first remote use.
+  bool require_wire = false;
+};
+
 /// Activation lifecycle management (idle deactivation scanner).
 struct LifecycleOptions {
   /// When true, silos periodically deactivate idle actors (persisting their
@@ -57,6 +66,7 @@ struct RuntimeOptions {
   int workers_per_silo = 2;
   Placement default_placement = Placement::kRandom;
   NetworkOptions network;
+  WireOptions wire;
   LifecycleOptions lifecycle;
   uint64_t seed = 42;
 };

@@ -1,0 +1,41 @@
+#include "actor/wire_format.h"
+
+#include "common/codec.h"
+#include "common/wire.h"
+
+namespace aodb {
+
+std::string WireEncodeRequest(const WireRequest& req) {
+  BufWriter w;
+  w.PutString(req.target.type);
+  w.PutString(req.target.key);
+  w.PutString(req.principal.tenant);
+  w.PutString(req.principal.role);
+  w.PutFixed64(req.method_id);
+  w.PutVarint(static_cast<uint64_t>(req.cost_us));
+  w.PutString(req.args);
+  return WireSeal(w.Release());
+}
+
+Status WireDecodeRequest(std::string_view frame, WireRequest* out) {
+  std::string_view payload;
+  AODB_RETURN_NOT_OK(WireOpen(frame, &payload));
+  BufReader r(payload);
+  AODB_RETURN_NOT_OK(r.GetString(&out->target.type));
+  AODB_RETURN_NOT_OK(r.GetString(&out->target.key));
+  AODB_RETURN_NOT_OK(r.GetString(&out->principal.tenant));
+  AODB_RETURN_NOT_OK(r.GetString(&out->principal.role));
+  AODB_RETURN_NOT_OK(r.GetFixed64(&out->method_id));
+  uint64_t cost = 0;
+  AODB_RETURN_NOT_OK(r.GetVarint(&cost));
+  out->cost_us = static_cast<Micros>(cost);
+  AODB_RETURN_NOT_OK(r.GetString(&out->args));
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in wire request");
+  return Status::OK();
+}
+
+std::string WireEncodeReply(std::string result_payload) {
+  return WireSeal(std::move(result_payload));
+}
+
+}  // namespace aodb

@@ -1,0 +1,41 @@
+// On-the-wire encoding of cross-silo invocations: a request frame carries
+// (target actor, principal, method id, simulated cost, encoded arguments),
+// a reply frame carries an encoded Result<T>. Both are sealed with a CRC32C
+// trailer (common/wire.h), so corrupted frames decode to Status::Corruption.
+
+#ifndef AODB_ACTOR_WIRE_FORMAT_H_
+#define AODB_ACTOR_WIRE_FORMAT_H_
+
+#include <string>
+#include <string_view>
+
+#include "actor/actor_id.h"
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace aodb {
+
+/// Decoded header + argument payload of one cross-silo invocation.
+struct WireRequest {
+  ActorId target;
+  Principal principal;
+  uint64_t method_id = 0;
+  Micros cost_us = 0;
+  std::string args;  ///< WireEncodeTuple of the decayed argument pack.
+};
+
+/// Encodes and seals a request frame. The frame's size is the measured
+/// `Envelope.approx_bytes` charged by the network model.
+std::string WireEncodeRequest(const WireRequest& req);
+
+/// Verifies the seal and decodes the header + args. Corrupted or truncated
+/// frames return Status::Corruption; `out` may hold partially decoded
+/// fields, which the caller must discard.
+Status WireDecodeRequest(std::string_view frame, WireRequest* out);
+
+/// Seals an encoded Result<T> payload into a reply frame.
+std::string WireEncodeReply(std::string result_payload);
+
+}  // namespace aodb
+
+#endif  // AODB_ACTOR_WIRE_FORMAT_H_

@@ -1,0 +1,49 @@
+#include "aodb/wire.h"
+
+#include "actor/method_registry.h"
+#include "aodb/index.h"
+#include "aodb/registry.h"
+#include "aodb/txn.h"
+
+namespace aodb {
+
+Status RegisterAodbCoreWireMethods() {
+  MethodRegistry& reg = MethodRegistry::Global();
+  AODB_RETURN_NOT_OK(
+      reg.Register(RegistryActor::kTypeName, &RegistryActor::Add, "Add"));
+  AODB_RETURN_NOT_OK(reg.Register(RegistryActor::kTypeName,
+                                  &RegistryActor::Remove, "Remove"));
+  AODB_RETURN_NOT_OK(reg.Register(RegistryActor::kTypeName,
+                                  &RegistryActor::Contains, "Contains"));
+  AODB_RETURN_NOT_OK(
+      reg.Register(RegistryActor::kTypeName, &RegistryActor::List, "List"));
+  AODB_RETURN_NOT_OK(
+      reg.Register(RegistryActor::kTypeName, &RegistryActor::Size, "Size"));
+  AODB_RETURN_NOT_OK(
+      reg.Register(IndexActor::kTypeName, &IndexActor::Insert, "Insert"));
+  AODB_RETURN_NOT_OK(
+      reg.Register(IndexActor::kTypeName, &IndexActor::Erase, "Erase"));
+  AODB_RETURN_NOT_OK(
+      reg.Register(IndexActor::kTypeName, &IndexActor::Lookup, "Lookup"));
+  AODB_RETURN_NOT_OK(reg.Register(IndexActor::kTypeName,
+                                  &IndexActor::DistinctValues,
+                                  "DistinctValues"));
+  return Status::OK();
+}
+
+Status RegisterTransactionalWireMethods(const std::string& type_name) {
+  MethodRegistry& reg = MethodRegistry::Global();
+  AODB_RETURN_NOT_OK(
+      reg.Register(type_name, &TransactionalActor::TxnPrepare, "TxnPrepare"));
+  AODB_RETURN_NOT_OK(
+      reg.Register(type_name, &TransactionalActor::TxnCommit, "TxnCommit"));
+  AODB_RETURN_NOT_OK(
+      reg.Register(type_name, &TransactionalActor::TxnAbort, "TxnAbort"));
+  AODB_RETURN_NOT_OK(
+      reg.Register(type_name, &TransactionalActor::ExecuteOp, "ExecuteOp"));
+  AODB_RETURN_NOT_OK(
+      reg.Register(type_name, &TransactionalActor::TxnLocked, "TxnLocked"));
+  return Status::OK();
+}
+
+}  // namespace aodb

@@ -30,6 +30,32 @@ struct CowInfo {
   Micros born_at = 0;
   bool has_location = false;
   GeoPoint location;
+
+  void Encode(BufWriter* w) const {
+    w->PutString(cow_key);
+    w->PutString(owner_farmer);
+    w->PutVector(owner_history,
+                 [](BufWriter& bw, const std::string& s) { bw.PutString(s); });
+    w->PutSigned(static_cast<int64_t>(status));
+    w->PutString(breed);
+    w->PutSigned(born_at);
+    w->PutBool(has_location);
+    location.Encode(w);
+  }
+  Status Decode(BufReader* r) {
+    AODB_RETURN_NOT_OK(r->GetString(&cow_key));
+    AODB_RETURN_NOT_OK(r->GetString(&owner_farmer));
+    AODB_RETURN_NOT_OK(r->GetVector(
+        &owner_history,
+        [](BufReader& br, std::string* s) { return br.GetString(s); }));
+    int64_t st = 0;
+    AODB_RETURN_NOT_OK(r->GetSigned(&st));
+    status = static_cast<CowStatus>(st);
+    AODB_RETURN_NOT_OK(r->GetString(&breed));
+    AODB_RETURN_NOT_OK(r->GetSigned(&born_at));
+    AODB_RETURN_NOT_OK(r->GetBool(&has_location));
+    return location.Decode(r);
+  }
 };
 
 /// One cow. Keys look like "cow-123" (a GS1 ear-tag id in production).

@@ -25,6 +25,17 @@ struct GeofenceAlert {
   std::string cow_key;
   Micros ts = 0;
   GeoPoint position;
+
+  void Encode(BufWriter* w) const {
+    w->PutString(cow_key);
+    w->PutSigned(ts);
+    position.Encode(w);
+  }
+  Status Decode(BufReader* r) {
+    AODB_RETURN_NOT_OK(r->GetString(&cow_key));
+    AODB_RETURN_NOT_OK(r->GetSigned(&ts));
+    return position.Decode(r);
+  }
 };
 
 /// One farm unit.

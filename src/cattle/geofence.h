@@ -17,6 +17,17 @@ struct GeoFence {
 
   bool empty() const { return vertices.size() < 3; }
 
+  void Encode(BufWriter* w) const {
+    w->PutVector(vertices, [](BufWriter& bw, const GeoPoint& p) {
+      p.Encode(&bw);
+    });
+  }
+  Status Decode(BufReader* r) {
+    return r->GetVector(&vertices, [](BufReader& br, GeoPoint* p) {
+      return p->Decode(&br);
+    });
+  }
+
   /// Even-odd (ray casting) point-in-polygon test. Points exactly on an
   /// edge may land on either side; fences are not adjudication devices.
   bool Contains(const GeoPoint& p) const {

@@ -1,13 +1,139 @@
 #include "cattle/platform.h"
 
+#include <cstdlib>
 #include <memory>
 
+#include "actor/method_registry.h"
 #include "actor/retry_async.h"
+#include "aodb/wire.h"
+#include "common/logging.h"
 
 namespace aodb {
 namespace cattle {
 
+namespace {
+
+// Registers every cross-silo-callable cattle method with the process-global
+// MethodRegistry. The transactional protocol methods are registered once per
+// concrete type name because receive-side dispatch is per (type, method id).
+void RegisterCattleWireMethods() {
+  MethodRegistry& reg = MethodRegistry::Global();
+  Status st = Status::OK();
+  auto add = [&st](Status s) {
+    if (st.ok()) st = std::move(s);
+  };
+  add(reg.Register(CowActor::kTypeName, &CowActor::Register, "Register"));
+  add(reg.Register(CowActor::kTypeName, &CowActor::ReportCollar,
+                   "ReportCollar"));
+  add(reg.Register(CowActor::kTypeName, &CowActor::ReportBolus,
+                   "ReportBolus"));
+  add(reg.Register(CowActor::kTypeName, &CowActor::SetPasture, "SetPasture"));
+  add(reg.Register(CowActor::kTypeName, &CowActor::Trajectory, "Trajectory"));
+  add(reg.Register(CowActor::kTypeName, &CowActor::Info, "Info"));
+  add(reg.Register(CowActor::kTypeName, &CowActor::MeanRumenTemperature,
+                   "MeanRumenTemperature"));
+  add(reg.Register(CowActor::kTypeName, &CowActor::GeofenceBreaches,
+                   "GeofenceBreaches"));
+  add(reg.Register(FarmerActor::kTypeName, &FarmerActor::RegisterCow,
+                   "RegisterCow"));
+  add(reg.Register(FarmerActor::kTypeName, &FarmerActor::Herd, "Herd"));
+  add(reg.Register(FarmerActor::kTypeName, &FarmerActor::HerdSize,
+                   "HerdSize"));
+  add(reg.Register(FarmerActor::kTypeName, &FarmerActor::Owns, "Owns"));
+  add(reg.Register(FarmerActor::kTypeName,
+                   &FarmerActor::GeofenceAlertReceived,
+                   "GeofenceAlertReceived"));
+  add(reg.Register(FarmerActor::kTypeName, &FarmerActor::DrainAlerts,
+                   "DrainAlerts"));
+  add(reg.Register(FarmerActor::kTypeName, &FarmerActor::TotalAlerts,
+                   "TotalAlerts"));
+  add(reg.Register(SlaughterhouseActor::kTypeName,
+                   &SlaughterhouseActor::Slaughter, "Slaughter"));
+  add(reg.Register(SlaughterhouseActor::kTypeName,
+                   &SlaughterhouseActor::ProcessedCows, "ProcessedCows"));
+  add(reg.Register(SlaughterhouseActor::kTypeName,
+                   &SlaughterhouseActor::CreateCuts, "CreateCuts"));
+  add(reg.Register(SlaughterhouseActor::kTypeName,
+                   &SlaughterhouseActor::CreateCutsLocal, "CreateCutsLocal"));
+  add(reg.Register(SlaughterhouseActor::kTypeName,
+                   &SlaughterhouseActor::TransferCutsTo, "TransferCutsTo"));
+  add(reg.Register(SlaughterhouseActor::kTypeName,
+                   &SlaughterhouseActor::ReadCutLocal, "ReadCutLocal"));
+  add(reg.Register(SlaughterhouseActor::kTypeName,
+                   &SlaughterhouseActor::LocalCutCount, "LocalCutCount"));
+  add(reg.Register(MeatCutActor::kTypeName, &MeatCutActor::Create, "Create"));
+  add(reg.Register(MeatCutActor::kTypeName, &MeatCutActor::AddItinerary,
+                   "AddItinerary"));
+  add(reg.Register(MeatCutActor::kTypeName, &MeatCutActor::Trace, "Trace"));
+  add(reg.Register(MeatCutActor::kTypeName, &MeatCutActor::Holder, "Holder"));
+  add(reg.Register(DeliveryActor::kTypeName, &DeliveryActor::Plan, "Plan"));
+  add(reg.Register(DeliveryActor::kTypeName, &DeliveryActor::Depart,
+                   "Depart"));
+  add(reg.Register(DeliveryActor::kTypeName, &DeliveryActor::Arrive,
+                   "Arrive"));
+  add(reg.Register(DeliveryActor::kTypeName, &DeliveryActor::InTransit,
+                   "InTransit"));
+  add(reg.Register(DeliveryActor::kTypeName, &DeliveryActor::CutKeys,
+                   "CutKeys"));
+  add(reg.Register(DistributorActor::kTypeName,
+                   &DistributorActor::PlanDelivery, "PlanDelivery"));
+  add(reg.Register(DistributorActor::kTypeName, &DistributorActor::Deliveries,
+                   "Deliveries"));
+  add(reg.Register(DistributorActor::kTypeName, &DistributorActor::ReceiveCuts,
+                   "ReceiveCuts"));
+  add(reg.Register(DistributorActor::kTypeName,
+                   &DistributorActor::TransferCutsToRetailer,
+                   "TransferCutsToRetailer"));
+  add(reg.Register(DistributorActor::kTypeName,
+                   &DistributorActor::ReadCutLocal, "ReadCutLocal"));
+  add(reg.Register(DistributorActor::kTypeName,
+                   &DistributorActor::LocalCutCount, "LocalCutCount"));
+  add(reg.Register(RetailerActor::kTypeName,
+                   &RetailerActor::RegisterCutArrival, "RegisterCutArrival"));
+  add(reg.Register(RetailerActor::kTypeName, &RetailerActor::CreateProduct,
+                   "CreateProduct"));
+  add(reg.Register(RetailerActor::kTypeName, &RetailerActor::ReceiveCuts,
+                   "ReceiveCuts"));
+  add(reg.Register(RetailerActor::kTypeName,
+                   &RetailerActor::CreateProductLocal, "CreateProductLocal"));
+  add(reg.Register(RetailerActor::kTypeName, &RetailerActor::ReadCutLocal,
+                   "ReadCutLocal"));
+  add(reg.Register(RetailerActor::kTypeName, &RetailerActor::LocalCutCount,
+                   "LocalCutCount"));
+  add(reg.Register(RetailerActor::kTypeName, &RetailerActor::AuditCutsRemote,
+                   "AuditCutsRemote"));
+  add(reg.Register(RetailerActor::kTypeName, &RetailerActor::AuditCutsLocal,
+                   "AuditCutsLocal"));
+  add(reg.Register(RetailerActor::kTypeName, &RetailerActor::Products,
+                   "Products"));
+  add(reg.Register(RetailerActor::kTypeName, &RetailerActor::AvailableCuts,
+                   "AvailableCuts"));
+  add(reg.Register(MeatProductActor::kTypeName, &MeatProductActor::Create,
+                   "Create"));
+  add(reg.Register(MeatProductActor::kTypeName,
+                   &MeatProductActor::CreateWithRecords, "CreateWithRecords"));
+  add(reg.Register(MeatProductActor::kTypeName, &MeatProductActor::Trace,
+                   "Trace"));
+  add(reg.Register(MeatProductActor::kTypeName, &MeatProductActor::CutKeys,
+                   "CutKeys"));
+  // Transactional protocol under every transactional cattle type.
+  add(RegisterTransactionalWireMethods(CowActor::kTypeName));
+  add(RegisterTransactionalWireMethods(FarmerActor::kTypeName));
+  add(RegisterTransactionalWireMethods(SlaughterhouseActor::kTypeName));
+  add(RegisterTransactionalWireMethods(MeatCutActor::kTypeName));
+  add(RegisterTransactionalWireMethods(DistributorActor::kTypeName));
+  add(RegisterTransactionalWireMethods(RetailerActor::kTypeName));
+  if (!st.ok()) {
+    AODB_LOG(Error, "cattle wire registration failed: %s",
+             st.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace
+
 void CattlePlatform::RegisterTypes(Cluster& cluster) {
+  RegisterCattleWireMethods();
   cluster.RegisterActorType<CowActor>();
   cluster.RegisterActorType<FarmerActor>();
   cluster.RegisterActorType<SlaughterhouseActor>();

@@ -19,6 +19,15 @@ namespace cattle {
 struct GeoPoint {
   double lat = 0;
   double lon = 0;
+
+  void Encode(BufWriter* w) const {
+    w->PutDouble(lat);
+    w->PutDouble(lon);
+  }
+  Status Decode(BufReader* r) {
+    AODB_RETURN_NOT_OK(r->GetDouble(&lat));
+    return r->GetDouble(&lon);
+  }
 };
 
 /// One reading from a cow's collar sensor: position plus motion metrics
@@ -29,6 +38,19 @@ struct CollarReading {
   GeoPoint position;
   double speed_mps = 0;
   double temperature_c = 38.5;
+
+  void Encode(BufWriter* w) const {
+    w->PutSigned(ts);
+    position.Encode(w);
+    w->PutDouble(speed_mps);
+    w->PutDouble(temperature_c);
+  }
+  Status Decode(BufReader* r) {
+    AODB_RETURN_NOT_OK(r->GetSigned(&ts));
+    AODB_RETURN_NOT_OK(position.Decode(r));
+    AODB_RETURN_NOT_OK(r->GetDouble(&speed_mps));
+    return r->GetDouble(&temperature_c);
+  }
 };
 
 /// A rumen/bolus sensor reading (the paper notes cattle often carry
@@ -37,6 +59,17 @@ struct BolusReading {
   Micros ts = 0;
   double rumen_temperature_c = 39.0;
   double ph = 6.5;
+
+  void Encode(BufWriter* w) const {
+    w->PutSigned(ts);
+    w->PutDouble(rumen_temperature_c);
+    w->PutDouble(ph);
+  }
+  Status Decode(BufReader* r) {
+    AODB_RETURN_NOT_OK(r->GetSigned(&ts));
+    AODB_RETURN_NOT_OK(r->GetDouble(&rumen_temperature_c));
+    return r->GetDouble(&ph);
+  }
 };
 
 /// Life status of a cow.
@@ -75,6 +108,27 @@ struct CutTrace {
   std::string slaughterhouse_key;
   Micros slaughtered_at = 0;
   std::vector<ItineraryEntry> itinerary;
+
+  void Encode(BufWriter* w) const {
+    w->PutString(cut_key);
+    w->PutString(cow_key);
+    w->PutString(farmer_key);
+    w->PutString(slaughterhouse_key);
+    w->PutSigned(slaughtered_at);
+    w->PutVector(itinerary, [](BufWriter& bw, const ItineraryEntry& e) {
+      e.Encode(&bw);
+    });
+  }
+  Status Decode(BufReader* r) {
+    AODB_RETURN_NOT_OK(r->GetString(&cut_key));
+    AODB_RETURN_NOT_OK(r->GetString(&cow_key));
+    AODB_RETURN_NOT_OK(r->GetString(&farmer_key));
+    AODB_RETURN_NOT_OK(r->GetString(&slaughterhouse_key));
+    AODB_RETURN_NOT_OK(r->GetSigned(&slaughtered_at));
+    return r->GetVector(&itinerary, [](BufReader& br, ItineraryEntry* e) {
+      return e->Decode(&br);
+    });
+  }
 };
 
 /// Full trace of a consumer product back to the animals (functional
@@ -84,6 +138,23 @@ struct ProductTrace {
   std::string retailer_key;
   Micros created_at = 0;
   std::vector<CutTrace> cuts;
+
+  void Encode(BufWriter* w) const {
+    w->PutString(product_key);
+    w->PutString(retailer_key);
+    w->PutSigned(created_at);
+    w->PutVector(cuts, [](BufWriter& bw, const CutTrace& c) {
+      c.Encode(&bw);
+    });
+  }
+  Status Decode(BufReader* r) {
+    AODB_RETURN_NOT_OK(r->GetString(&product_key));
+    AODB_RETURN_NOT_OK(r->GetString(&retailer_key));
+    AODB_RETURN_NOT_OK(r->GetSigned(&created_at));
+    return r->GetVector(&cuts, [](BufReader& br, CutTrace* c) {
+      return c->Decode(&br);
+    });
+  }
 };
 
 /// The non-actor object version of a meat cut used by the paper's
@@ -98,6 +169,31 @@ struct MeatCutRecord {
   std::string slaughterhouse_key;
   Micros slaughtered_at = 0;
   std::vector<ItineraryEntry> itinerary;
+
+  void Encode(BufWriter* w) const {
+    w->PutString(cut_key);
+    w->PutSigned(version);
+    w->PutString(cow_key);
+    w->PutString(farmer_key);
+    w->PutString(slaughterhouse_key);
+    w->PutSigned(slaughtered_at);
+    w->PutVector(itinerary, [](BufWriter& bw, const ItineraryEntry& e) {
+      e.Encode(&bw);
+    });
+  }
+  Status Decode(BufReader* r) {
+    AODB_RETURN_NOT_OK(r->GetString(&cut_key));
+    int64_t v = 0;
+    AODB_RETURN_NOT_OK(r->GetSigned(&v));
+    version = static_cast<int32_t>(v);
+    AODB_RETURN_NOT_OK(r->GetString(&cow_key));
+    AODB_RETURN_NOT_OK(r->GetString(&farmer_key));
+    AODB_RETURN_NOT_OK(r->GetString(&slaughterhouse_key));
+    AODB_RETURN_NOT_OK(r->GetSigned(&slaughtered_at));
+    return r->GetVector(&itinerary, [](BufReader& br, ItineraryEntry* e) {
+      return e->Decode(&br);
+    });
+  }
 };
 
 // Simulated CPU costs of cattle-platform messages (same calibration scale

@@ -1,0 +1,265 @@
+// Wire codec trait layer: the serialization boundary for cross-silo actor
+// invocations. WireCodec<T> maps a value type to its BufWriter/BufReader
+// encoding; types used as arguments or results of cross-silo actor methods
+// must have a specialization (most domain structs get one for free through
+// their Encode/Decode members, which double as the persistence format).
+//
+// Frames on the wire carry a CRC32C trailer (WireSeal / WireOpen), so any
+// in-flight corruption — bit flips, truncation — surfaces deterministically
+// as Status::Corruption at the receiver, never as undefined behavior in a
+// decoder.
+
+#ifndef AODB_COMMON_WIRE_H_
+#define AODB_COMMON_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <type_traits>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/status.h"
+
+namespace aodb {
+
+/// Primary template: intentionally empty. A type is wire-encodable iff a
+/// specialization (below, or user-provided) supplies
+///   static void Encode(BufWriter*, const T&);
+///   static Status Decode(BufReader*, T*);
+template <typename T, typename Enable = void>
+struct WireCodec {};
+
+/// True iff WireCodec<T> has working Encode/Decode.
+template <typename T, typename = void>
+struct HasWireCodec : std::false_type {};
+template <typename T>
+struct HasWireCodec<
+    T, std::void_t<decltype(WireCodec<T>::Encode(std::declval<BufWriter*>(),
+                                                 std::declval<const T&>())),
+                   decltype(WireCodec<T>::Decode(std::declval<BufReader*>(),
+                                                 std::declval<T*>()))>>
+    : std::true_type {};
+
+/// True iff every listed type is wire-encodable and default-constructible
+/// (decoding builds the value before filling it in).
+template <typename... Ts>
+struct WireSupported
+    : std::conjunction<HasWireCodec<Ts>...,
+                       std::is_default_constructible<Ts>...> {};
+
+// --- Built-in specializations ------------------------------------------------
+
+/// Integers (signed via zigzag, unsigned via varint). bool is separate.
+template <typename T>
+struct WireCodec<T, std::enable_if_t<std::is_integral_v<T> &&
+                                     !std::is_same_v<T, bool>>> {
+  static void Encode(BufWriter* w, const T& v) {
+    if constexpr (std::is_signed_v<T>) {
+      w->PutSigned(static_cast<int64_t>(v));
+    } else {
+      w->PutVarint(static_cast<uint64_t>(v));
+    }
+  }
+  static Status Decode(BufReader* r, T* out) {
+    if constexpr (std::is_signed_v<T>) {
+      int64_t v = 0;
+      AODB_RETURN_NOT_OK(r->GetSigned(&v));
+      *out = static_cast<T>(v);
+    } else {
+      uint64_t v = 0;
+      AODB_RETURN_NOT_OK(r->GetVarint(&v));
+      *out = static_cast<T>(v);
+    }
+    return Status::OK();
+  }
+};
+
+template <>
+struct WireCodec<bool> {
+  static void Encode(BufWriter* w, const bool& v) { w->PutBool(v); }
+  static Status Decode(BufReader* r, bool* out) { return r->GetBool(out); }
+};
+
+template <>
+struct WireCodec<double> {
+  static void Encode(BufWriter* w, const double& v) { w->PutDouble(v); }
+  static Status Decode(BufReader* r, double* out) { return r->GetDouble(out); }
+};
+
+template <>
+struct WireCodec<std::string> {
+  static void Encode(BufWriter* w, const std::string& v) { w->PutString(v); }
+  static Status Decode(BufReader* r, std::string* out) {
+    return r->GetString(out);
+  }
+};
+
+template <>
+struct WireCodec<Status> {
+  static void Encode(BufWriter* w, const Status& v) {
+    w->PutVarint(static_cast<uint64_t>(v.code()));
+    w->PutString(v.message());
+  }
+  static Status Decode(BufReader* r, Status* out) {
+    uint64_t code = 0;
+    std::string msg;
+    AODB_RETURN_NOT_OK(r->GetVarint(&code));
+    AODB_RETURN_NOT_OK(r->GetString(&msg));
+    if (code > static_cast<uint64_t>(StatusCode::kCancelled)) {
+      return Status::Corruption("status code out of range");
+    }
+    *out = Status(static_cast<StatusCode>(code), std::move(msg));
+    return Status::OK();
+  }
+};
+
+/// Enums travel as their underlying integer, range-checked by the caller's
+/// domain logic (the codec only guarantees a clean decode).
+template <typename T>
+struct WireCodec<T, std::enable_if_t<std::is_enum_v<T>>> {
+  using U = std::underlying_type_t<T>;
+  static void Encode(BufWriter* w, const T& v) {
+    WireCodec<U>::Encode(w, static_cast<U>(v));
+  }
+  static Status Decode(BufReader* r, T* out) {
+    U v{};
+    AODB_RETURN_NOT_OK(WireCodec<U>::Decode(r, &v));
+    *out = static_cast<T>(v);
+    return Status::OK();
+  }
+};
+
+/// Any type providing member `void Encode(BufWriter*) const` and
+/// `Status Decode(BufReader*)` — the persistence-codec convention used by
+/// the SHM and cattle domain structs.
+template <typename T>
+struct WireCodec<
+    T, std::void_t<decltype(std::declval<const T&>().Encode(
+                       std::declval<BufWriter*>())),
+                   std::enable_if_t<std::is_same_v<
+                       decltype(std::declval<T&>().Decode(
+                           std::declval<BufReader*>())),
+                       Status>>>> {
+  static void Encode(BufWriter* w, const T& v) { v.Encode(w); }
+  static Status Decode(BufReader* r, T* out) { return out->Decode(r); }
+};
+
+template <typename T>
+struct WireCodec<std::vector<T>, std::enable_if_t<HasWireCodec<T>::value>> {
+  static void Encode(BufWriter* w, const std::vector<T>& v) {
+    w->PutVarint(v.size());
+    for (const T& e : v) WireCodec<T>::Encode(w, e);
+  }
+  static Status Decode(BufReader* r, std::vector<T>* out) {
+    uint64_t n = 0;
+    AODB_RETURN_NOT_OK(r->GetVarint(&n));
+    // Every element costs at least one byte on the wire, so a length that
+    // exceeds the remaining input is corrupt — reject before reserving.
+    if (n > r->remaining()) {
+      return Status::Corruption("wire vector length exceeds payload");
+    }
+    out->clear();
+    out->reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      T elem{};
+      AODB_RETURN_NOT_OK(WireCodec<T>::Decode(r, &elem));
+      out->push_back(std::move(elem));
+    }
+    return Status::OK();
+  }
+};
+
+// --- Tuples (argument lists) -------------------------------------------------
+
+template <typename... Ts>
+void WireEncodeTuple(BufWriter* w, const std::tuple<Ts...>& t) {
+  std::apply([w](const Ts&... vs) { (WireCodec<Ts>::Encode(w, vs), ...); }, t);
+}
+
+template <typename... Ts>
+Status WireDecodeTuple(BufReader* r, std::tuple<Ts...>* t) {
+  Status st;
+  auto step = [&](auto& v) {
+    using V = std::decay_t<decltype(v)>;
+    if (st.ok()) st = WireCodec<V>::Decode(r, &v);
+  };
+  std::apply([&](Ts&... vs) { (step(vs), ...); }, *t);
+  return st;
+}
+
+// --- Result<T> (reply payloads) ----------------------------------------------
+
+template <typename T>
+void WireEncodeResult(BufWriter* w, const Result<T>& r) {
+  w->PutBool(r.ok());
+  if (r.ok()) {
+    WireCodec<T>::Encode(w, r.value());
+  } else {
+    // The error branch is type-erased: any decoder can read it without
+    // knowing T (used for transport-level error replies).
+    w->PutVarint(static_cast<uint64_t>(r.status().code()));
+    w->PutString(r.status().message());
+  }
+}
+
+template <typename T>
+Result<T> WireDecodeResult(BufReader* r) {
+  bool ok = false;
+  if (!r->GetBool(&ok).ok()) {
+    return Result<T>::FromError(Status::Corruption("wire result flag"));
+  }
+  if (ok) {
+    T v{};
+    Status st = WireCodec<T>::Decode(r, &v);
+    if (!st.ok()) {
+      return Result<T>::FromError(
+          st.IsCorruption() ? st : Status::Corruption(st.ToString()));
+    }
+    return Result<T>(std::move(v));
+  }
+  uint64_t code = 0;
+  std::string msg;
+  if (!r->GetVarint(&code).ok() || !r->GetString(&msg).ok() || code == 0 ||
+      code > static_cast<uint64_t>(StatusCode::kCancelled)) {
+    return Result<T>::FromError(Status::Corruption("wire result error"));
+  }
+  return Result<T>::FromError(Status(static_cast<StatusCode>(code), msg));
+}
+
+// --- Framing -----------------------------------------------------------------
+
+/// Appends a little-endian CRC32C trailer over the payload.
+inline std::string WireSeal(std::string payload) {
+  uint32_t crc = Crc32c(payload.data(), payload.size());
+  char tail[4] = {static_cast<char>(crc & 0xff),
+                  static_cast<char>((crc >> 8) & 0xff),
+                  static_cast<char>((crc >> 16) & 0xff),
+                  static_cast<char>((crc >> 24) & 0xff)};
+  payload.append(tail, 4);
+  return payload;
+}
+
+/// Verifies and strips the CRC trailer. Any mismatch — bit flip, truncated
+/// frame — returns Status::Corruption; `payload` views into `frame`.
+inline Status WireOpen(std::string_view frame, std::string_view* payload) {
+  if (frame.size() < 4) return Status::Corruption("wire frame truncated");
+  size_t n = frame.size() - 4;
+  uint32_t stored = static_cast<uint8_t>(frame[n]) |
+                    (static_cast<uint32_t>(static_cast<uint8_t>(frame[n + 1]))
+                     << 8) |
+                    (static_cast<uint32_t>(static_cast<uint8_t>(frame[n + 2]))
+                     << 16) |
+                    (static_cast<uint32_t>(static_cast<uint8_t>(frame[n + 3]))
+                     << 24);
+  if (stored != Crc32c(frame.data(), n)) {
+    return Status::Corruption("wire frame checksum mismatch");
+  }
+  *payload = frame.substr(0, n);
+  return Status::OK();
+}
+
+}  // namespace aodb
+
+#endif  // AODB_COMMON_WIRE_H_

@@ -32,6 +32,23 @@ struct AggChainSpec {
   Micros hour_len_us = 0;
   Micros day_len_us = 0;
   Micros month_len_us = 0;
+
+  void Encode(BufWriter* w) const {
+    w->PutString(hour_key);
+    w->PutString(day_key);
+    w->PutString(month_key);
+    w->PutSigned(hour_len_us);
+    w->PutSigned(day_len_us);
+    w->PutSigned(month_len_us);
+  }
+  Status Decode(BufReader* r) {
+    AODB_RETURN_NOT_OK(r->GetString(&hour_key));
+    AODB_RETURN_NOT_OK(r->GetString(&day_key));
+    AODB_RETURN_NOT_OK(r->GetString(&month_key));
+    AODB_RETURN_NOT_OK(r->GetSigned(&hour_len_us));
+    AODB_RETURN_NOT_OK(r->GetSigned(&day_len_us));
+    return r->GetSigned(&month_len_us);
+  }
 };
 
 /// Name of the channel-by-organization secondary index (see aodb/index.h)
@@ -73,6 +90,19 @@ struct ChannelState {
 struct RangeReply {
   bool authorized = true;
   std::vector<DataPoint> points;
+
+  void Encode(BufWriter* w) const {
+    w->PutBool(authorized);
+    w->PutVector(points, [](BufWriter& bw, const DataPoint& p) {
+      p.Encode(&bw);
+    });
+  }
+  Status Decode(BufReader* r) {
+    AODB_RETURN_NOT_OK(r->GetBool(&authorized));
+    return r->GetVector(&points, [](BufReader& br, DataPoint* p) {
+      return DataPoint::DecodeInto(&br, p);
+    });
+  }
 };
 
 /// Physical sensor channel actor.

@@ -1,14 +1,111 @@
 #include "shm/platform.h"
 
+#include <cstdlib>
+
+#include "actor/method_registry.h"
 #include "actor/retry_async.h"
+#include "common/logging.h"
 #include "aodb/index.h"
 #include "aodb/registry.h"
+#include "aodb/wire.h"
 
 namespace aodb {
 namespace shm {
 
+namespace {
+
+// Registers every cross-silo-callable SHM method with the process-global
+// MethodRegistry so remote sends use the serialized wire lane. Idempotent;
+// a failure here is a programming error (method-id collision), so abort
+// loudly rather than run with silently closure-only dispatch.
+void RegisterShmWireMethods() {
+  MethodRegistry& reg = MethodRegistry::Global();
+  Status st = Status::OK();
+  auto add = [&st](Status s) {
+    if (st.ok()) st = std::move(s);
+  };
+  add(reg.Register(OrganizationActor::kTypeName, &OrganizationActor::SetName,
+                   "SetName"));
+  add(reg.Register(OrganizationActor::kTypeName,
+                   &OrganizationActor::AddProject, "AddProject"));
+  add(reg.Register(OrganizationActor::kTypeName, &OrganizationActor::AddSensor,
+                   "AddSensor"));
+  add(reg.Register(OrganizationActor::kTypeName, &OrganizationActor::AddUser,
+                   "AddUser"));
+  add(reg.Register(OrganizationActor::kTypeName, &OrganizationActor::LiveData,
+                   "LiveData"));
+  add(reg.Register(OrganizationActor::kTypeName,
+                   &OrganizationActor::ChannelKeys, "ChannelKeys"));
+  add(reg.Register(OrganizationActor::kTypeName, &OrganizationActor::Projects,
+                   "Projects"));
+  add(reg.Register(OrganizationActor::kTypeName,
+                   &OrganizationActor::SensorCount, "SensorCount"));
+  add(reg.Register(UserActor::kTypeName, &UserActor::Notify, "Notify"));
+  add(reg.Register(UserActor::kTypeName, &UserActor::DrainAlerts,
+                   "DrainAlerts"));
+  add(reg.Register(UserActor::kTypeName, &UserActor::TotalAlerts,
+                   "TotalAlerts"));
+  add(reg.Register(AggregatorActor::kTypeName, &AggregatorActor::Configure,
+                   "Configure"));
+  add(reg.Register(AggregatorActor::kTypeName, &AggregatorActor::Update,
+                   "Update"));
+  add(reg.Register(AggregatorActor::kTypeName, &AggregatorActor::Query,
+                   "Query"));
+  add(reg.Register(AggregatorActor::kTypeName, &AggregatorActor::WindowCount,
+                   "WindowCount"));
+  add(reg.Register(SensorActor::kTypeName, &SensorActor::Configure,
+                   "Configure"));
+  add(reg.Register(SensorActor::kTypeName, &SensorActor::SetupChannels,
+                   "SetupChannels"));
+  add(reg.Register(SensorActor::kTypeName, &SensorActor::SetPosition,
+                   "SetPosition"));
+  add(reg.Register(SensorActor::kTypeName, &SensorActor::Insert, "Insert"));
+  add(reg.Register(SensorActor::kTypeName, &SensorActor::InsertDurable,
+                   "InsertDurable"));
+  add(reg.Register(SensorActor::kTypeName, &SensorActor::Packets, "Packets"));
+  add(reg.Register(SensorActor::kTypeName, &SensorActor::ChannelKeys,
+                   "ChannelKeys"));
+  add(reg.Register(PhysicalChannelActor::kTypeName,
+                   &PhysicalChannelActor::Configure, "Configure"));
+  add(reg.Register(PhysicalChannelActor::kTypeName,
+                   &PhysicalChannelActor::ConfigureFull, "ConfigureFull"));
+  add(reg.Register(PhysicalChannelActor::kTypeName,
+                   &PhysicalChannelActor::Append, "Append"));
+  add(reg.Register(PhysicalChannelActor::kTypeName,
+                   &PhysicalChannelActor::AppendDurable, "AppendDurable"));
+  add(reg.Register(PhysicalChannelActor::kTypeName,
+                   &PhysicalChannelActor::Latest, "Latest"));
+  add(reg.Register(PhysicalChannelActor::kTypeName,
+                   &PhysicalChannelActor::Range, "Range"));
+  add(reg.Register(PhysicalChannelActor::kTypeName,
+                   &PhysicalChannelActor::AccumulatedChange,
+                   "AccumulatedChange"));
+  add(reg.Register(PhysicalChannelActor::kTypeName,
+                   &PhysicalChannelActor::TotalPoints, "TotalPoints"));
+  add(reg.Register(VirtualChannelActor::kTypeName,
+                   &VirtualChannelActor::Configure, "Configure"));
+  add(reg.Register(VirtualChannelActor::kTypeName,
+                   &VirtualChannelActor::ConfigureFull, "ConfigureFull"));
+  add(reg.Register(VirtualChannelActor::kTypeName,
+                   &VirtualChannelActor::SourceUpdate, "SourceUpdate"));
+  add(reg.Register(VirtualChannelActor::kTypeName,
+                   &VirtualChannelActor::Latest, "Latest"));
+  add(reg.Register(VirtualChannelActor::kTypeName, &VirtualChannelActor::Range,
+                   "Range"));
+  add(reg.Register(VirtualChannelActor::kTypeName,
+                   &VirtualChannelActor::TotalPoints, "TotalPoints"));
+  add(RegisterAodbCoreWireMethods());
+  if (!st.ok()) {
+    AODB_LOG(Error, "SHM wire registration failed: %s", st.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace
+
 void ShmPlatform::RegisterTypes(Cluster& cluster,
                                 PersistenceOptions channel_persistence) {
+  RegisterShmWireMethods();
   cluster.RegisterActorType<OrganizationActor>();
   cluster.RegisterActorType<UserActor>();
   cluster.RegisterActorType<AggregatorActor>();

@@ -53,6 +53,17 @@ struct ChannelSpec {
   std::string key;
   ChannelConfig config;
   AggChainSpec aggs;
+
+  void Encode(BufWriter* w) const {
+    w->PutString(key);
+    config.Encode(w);
+    aggs.Encode(w);
+  }
+  Status Decode(BufReader* r) {
+    AODB_RETURN_NOT_OK(r->GetString(&key));
+    AODB_RETURN_NOT_OK(config.Decode(r));
+    return aggs.Decode(r);
+  }
 };
 
 /// Configuration of a sensor's virtual channel.
@@ -60,6 +71,17 @@ struct VirtualSpec {
   std::string key;
   VirtualChannelConfig config;
   AggChainSpec aggs;
+
+  void Encode(BufWriter* w) const {
+    w->PutString(key);
+    config.Encode(w);
+    aggs.Encode(w);
+  }
+  Status Decode(BufReader* r) {
+    AODB_RETURN_NOT_OK(r->GetString(&key));
+    AODB_RETURN_NOT_OK(config.Decode(r));
+    return aggs.Decode(r);
+  }
 };
 
 /// Physical sensor (data logger endpoint) actor.

@@ -29,6 +29,7 @@ struct DataPoint {
     AODB_RETURN_NOT_OK(r->GetSigned(&out->ts));
     return r->GetDouble(&out->value);
   }
+  Status Decode(BufReader* r) { return DecodeInto(r, this); }
 };
 
 /// Most recent value of one channel, as returned by live-data queries
@@ -38,6 +39,19 @@ struct LiveDataEntry {
   Micros ts = 0;
   double value = 0;
   bool has_data = false;
+
+  void Encode(BufWriter* w) const {
+    w->PutString(channel_key);
+    w->PutSigned(ts);
+    w->PutDouble(value);
+    w->PutBool(has_data);
+  }
+  Status Decode(BufReader* r) {
+    AODB_RETURN_NOT_OK(r->GetString(&channel_key));
+    AODB_RETURN_NOT_OK(r->GetSigned(&ts));
+    AODB_RETURN_NOT_OK(r->GetDouble(&value));
+    return r->GetBool(&has_data);
+  }
 };
 
 /// Summarized statistics of one aggregation window (functional requirement
@@ -50,6 +64,25 @@ struct AggregateView {
   double max = 0;
   double mean = 0;
   double stddev = 0;
+
+  void Encode(BufWriter* w) const {
+    w->PutSigned(window_start);
+    w->PutSigned(window_len);
+    w->PutSigned(count);
+    w->PutDouble(min);
+    w->PutDouble(max);
+    w->PutDouble(mean);
+    w->PutDouble(stddev);
+  }
+  Status Decode(BufReader* r) {
+    AODB_RETURN_NOT_OK(r->GetSigned(&window_start));
+    AODB_RETURN_NOT_OK(r->GetSigned(&window_len));
+    AODB_RETURN_NOT_OK(r->GetSigned(&count));
+    AODB_RETURN_NOT_OK(r->GetDouble(&min));
+    AODB_RETURN_NOT_OK(r->GetDouble(&max));
+    AODB_RETURN_NOT_OK(r->GetDouble(&mean));
+    return r->GetDouble(&stddev);
+  }
 };
 
 /// Threshold-crossing alert delivered to users (functional requirement 5).
@@ -59,6 +92,21 @@ struct AlertEvent {
   double value = 0;
   double threshold = 0;
   bool above = true;  ///< true: crossed upper threshold; false: lower.
+
+  void Encode(BufWriter* w) const {
+    w->PutString(channel_key);
+    w->PutSigned(ts);
+    w->PutDouble(value);
+    w->PutDouble(threshold);
+    w->PutBool(above);
+  }
+  Status Decode(BufReader* r) {
+    AODB_RETURN_NOT_OK(r->GetString(&channel_key));
+    AODB_RETURN_NOT_OK(r->GetSigned(&ts));
+    AODB_RETURN_NOT_OK(r->GetDouble(&value));
+    AODB_RETURN_NOT_OK(r->GetDouble(&threshold));
+    return r->GetBool(&above);
+  }
 };
 
 /// Aggregation levels of the statistics hierarchy. In production these are

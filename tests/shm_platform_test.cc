@@ -21,12 +21,17 @@ class ShmSimTest : public ::testing::Test {
   ShmSimTest() : harness_(MakeOptions()), platform_(&harness_.cluster()) {
     ShmPlatform::RegisterTypes(harness_.cluster());
     ShmPlatform::ApplyPaperPlacement(harness_.cluster());
+    // Startup assertion: every registered type must have wire methods, so
+    // strict mode cannot hit an unregistered cross-silo call mid-test.
+    Status wires = harness_.cluster().CheckWireRegistry();
+    EXPECT_TRUE(wires.ok()) << wires.ToString();
   }
 
   static RuntimeOptions MakeOptions() {
     RuntimeOptions o;
     o.num_silos = 2;
     o.workers_per_silo = 2;
+    o.wire.require_wire = true;
     return o;
   }
 
