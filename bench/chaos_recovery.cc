@@ -1,9 +1,10 @@
 // Chaos recovery: ingestion under the fault-injection subsystem.
 //
-// Runs the SHM ingestion workload through a seeded FaultPlan (one of three
-// silos killed mid-run and restarted, 1% message drop, 0.5% duplication, 5%
-// transient storage errors) under three client configurations, and reports
-// how many acked packets the platform subsequently lost:
+// Part 1 runs the SHM ingestion workload through a seeded FaultPlan (one of
+// three silos killed mid-run and restarted, 1% message drop, 0.5%
+// duplication, 5% transient storage errors) under three client
+// configurations, and reports how many acked packets the platform
+// subsequently lost:
 //
 //   (a) no retries, fast acks     — the paper's implicit baseline
 //   (b) client retries, fast acks — crashes heal but in-window acks can lie
@@ -12,20 +13,33 @@
 //
 // Every configuration uses the same fault seed, so the chaos the three modes
 // face is identical and the table isolates the policy, not the luck.
+//
+// Part 2 measures the membership failure detector against UNANNOUNCED
+// failures, where no KillSilo ever fires and only the lease/probe protocol
+// can notice: a wedged executor (full hang) and a gray failure (membership
+// agent dark, application traffic still served). Over seeded trials it
+// reports detection latency (wedge -> declared dead) and recovery latency
+// (wedge -> an in-flight idempotent read against the dead silo completes
+// from re-placed state) as histogram percentiles.
 
 #include <cstdio>
 #include <limits>
 #include <map>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "actor/actor_ref.h"
 #include "actor/fault.h"
+#include "actor/membership.h"
+#include "common/histogram.h"
 #include "common/table_printer.h"
 #include "shm/platform.h"
 #include "sim/sim_harness.h"
 #include "storage/faulty_storage.h"
 #include "storage/mem_kv.h"
+#include "storage/persistent_actor.h"
 
 namespace aodb::bench {
 namespace {
@@ -179,6 +193,143 @@ ModeResult RunMode(const Mode& mode) {
   return out;
 }
 
+// --- Part 2: unannounced failures vs the membership detector ----------------
+
+struct BenchState {
+  int64_t value = 0;
+  void Encode(BufWriter* w) const { w->PutSigned(value); }
+  Status Decode(BufReader* r) { return r->GetSigned(&value); }
+};
+
+class BenchCounter : public PersistentActor<BenchState> {
+ public:
+  static constexpr char kTypeName[] = "bench.MbrCounter";
+
+  BenchCounter()
+      : PersistentActor<BenchState>(PersistenceOptions{
+            PersistPolicy::kOnEveryUpdate, 100, 10 * kMicrosPerSecond,
+            "default", RetryPolicy{}}) {}
+
+  int64_t Add(int64_t d) {
+    state().value += d;
+    MarkDirty();
+    return state().value;
+  }
+  int64_t Value() { return state().value; }
+};
+
+struct DetectorResult {
+  int trials = 0;
+  int evictions = 0;
+  /// wedge -> declared dead, one sample per trial.
+  Histogram detect_us;
+  /// wedge -> an affected in-flight read completes OK, one sample per read
+  /// that was pending against the failed silo.
+  Histogram recover_us;
+  int64_t dead_letters = 0;
+  int64_t deadline_timeouts = 0;
+  int64_t failover_resubmitted = 0;
+};
+
+/// One seeded trial: wedge (or gray-fail) silo 1 with reads in flight and
+/// measure how long detection and recovery take. Returns false on a trial
+/// that never converged.
+bool RunDetectorTrial(bool suppress_only, uint64_t seed, DetectorResult* out) {
+  RuntimeOptions options;
+  options.num_silos = 3;
+  options.workers_per_silo = 2;
+  options.seed = seed;
+  options.membership.enable = true;
+  options.membership.lease_duration_us = kMicrosPerSecond;
+  options.membership.heartbeat_period_us = 200 * kMicrosPerMilli;
+  options.membership.probe_period_us = 250 * kMicrosPerMilli;
+  options.membership.probe_timeout_us = 100 * kMicrosPerMilli;
+  options.membership.suspect_after_missed = 2;
+  options.membership.eviction_quorum = 2;
+  options.membership.failover.max_retries = 3;
+  options.membership.failover.initial_backoff_us = 10 * kMicrosPerMilli;
+  options.default_call_deadline_us = 5 * kMicrosPerSecond;
+
+  MemKvStore system_kv;
+  MemKvStore grain_kv;
+  SimHarness harness(options, &system_kv);
+  Cluster& cluster = harness.cluster();
+  static const Status registered = [] {
+    AODB_RETURN_NOT_OK(MethodRegistry::Global().Register(
+        BenchCounter::kTypeName, &BenchCounter::Add, "BenchCounter.Add"));
+    return MethodRegistry::Global().Register(
+        BenchCounter::kTypeName, &BenchCounter::Value, "BenchCounter.Value",
+        /*idempotent=*/true);
+  }();
+  if (!registered.ok()) return false;
+  cluster.RegisterActorType<BenchCounter>();
+  cluster.RegisterStateStorage(
+      "default", std::make_shared<KvStateStorage>(&grain_kv));
+
+  constexpr int kCounters = 12;
+  constexpr SiloId kVictim = 1;
+  std::vector<ActorRef<BenchCounter>> refs;
+  for (int i = 0; i < kCounters; ++i) {
+    refs.push_back(cluster.Ref<BenchCounter>("b" + std::to_string(i)));
+    auto f = refs.back().Call(&BenchCounter::Add, int64_t{i + 1});
+    if (!RunUntilReady(harness, f, 10 * kMicrosPerSecond) || !f.Get().ok()) {
+      return false;
+    }
+  }
+  harness.RunFor(kMicrosPerSecond);  // Drain storage writes.
+
+  std::vector<int> on_victim;
+  for (int i = 0; i < kCounters; ++i) {
+    auto host = cluster.directory().Lookup(
+        ActorId{BenchCounter::kTypeName, "b" + std::to_string(i)});
+    if (host.has_value() && host.value() == kVictim) on_victim.push_back(i);
+  }
+
+  const Micros wedge_at = harness.Now();
+  if (suppress_only) {
+    cluster.membership()->SuppressSilo(kVictim, true);
+  } else {
+    cluster.silo(kVictim)->SetWedged(true);
+  }
+  // In-flight reads against the failing silo: under a full wedge these ride
+  // the failover path once the eviction lands; under a gray failure the
+  // silo still answers them directly.
+  std::vector<std::pair<int, Future<int64_t>>> reads;
+  for (int i : on_victim) {
+    reads.emplace_back(i, refs[i].Call(&BenchCounter::Value));
+  }
+  // Advance in 1 ms steps so each read's completion time (and the eviction
+  // itself) is observed at millisecond resolution.
+  const Micros give_up = harness.Now() + 20 * kMicrosPerSecond;
+  Micros evicted_at = 0;
+  std::vector<char> done(reads.size(), 0);
+  size_t remaining = reads.size();
+  while (harness.Now() < give_up && (evicted_at == 0 || remaining > 0)) {
+    harness.RunFor(kMicrosPerMilli);
+    if (evicted_at == 0 && !cluster.SiloAlive(kVictim)) {
+      evicted_at = cluster.membership()->LastEvictionAt(kVictim);
+    }
+    for (size_t k = 0; k < reads.size(); ++k) {
+      if (done[k] || !reads[k].second.Ready()) continue;
+      done[k] = 1;
+      --remaining;
+      auto r = reads[k].second.Get();
+      if (r.ok() && r.value() == reads[k].first + 1) {
+        out->recover_us.Record(harness.Now() - wedge_at);
+      }
+    }
+  }
+  if (evicted_at == 0) return false;
+  out->detect_us.Record(evicted_at - wedge_at);
+  ++out->evictions;
+  auto counters = cluster.cluster_counters();
+  out->dead_letters += counters.dead_letters;
+  out->deadline_timeouts += counters.deadline_timeouts;
+  out->failover_resubmitted += counters.failover_resubmitted;
+  ++out->trials;
+  return true;
+}
+
 }  // namespace
 }  // namespace aodb::bench
 
@@ -220,5 +371,49 @@ int main() {
       "\n(and any fast ack issued before persistence can be lost). Client"
       "\nretries recover the failures; durable acks additionally guarantee"
       "\nzero acked-point loss — the chaos acceptance contract.\n");
+
+  std::printf(
+      "\n=== Membership detector: unannounced crash & gray failure ===\n"
+      "3 silos, heartbeat 200ms / probe 250ms (timeout 100ms), suspect\n"
+      "after 2 missed probes, quorum 2, lease 1s. Silo 1 fails WITHOUT\n"
+      "KillSilo; only the lease/probe protocol can notice.\n\n");
+
+  constexpr int kTrials = 12;
+  struct Scenario {
+    const char* name;
+    bool suppress_only;
+  };
+  const Scenario kScenarios[] = {
+      {"wedged executor (hang)", false},
+      {"gray failure (silent agent)", true},
+  };
+  TablePrinter det_table({"scenario", "trials", "evicted", "detect p50 (ms)",
+                          "detect p99 (ms)", "recover p50 (ms)",
+                          "recover p99 (ms)", "failovers", "dead letters"});
+  for (const Scenario& sc : kScenarios) {
+    DetectorResult r;
+    for (int t = 0; t < kTrials; ++t) {
+      if (!RunDetectorTrial(sc.suppress_only, /*seed=*/100 + t * 17, &r)) {
+        std::fprintf(stderr, "detector trial %d (%s) never converged\n", t,
+                     sc.name);
+        return 1;
+      }
+    }
+    det_table.AddRow(
+        {sc.name, TablePrinter::Fmt(static_cast<int64_t>(r.trials)),
+         TablePrinter::Fmt(static_cast<int64_t>(r.evictions)),
+         TablePrinter::FmtMsFromUs(r.detect_us.Percentile(50)),
+         TablePrinter::FmtMsFromUs(r.detect_us.Percentile(99)),
+         TablePrinter::FmtMsFromUs(r.recover_us.Percentile(50)),
+         TablePrinter::FmtMsFromUs(r.recover_us.Percentile(99)),
+         TablePrinter::Fmt(r.failover_resubmitted),
+         TablePrinter::Fmt(r.dead_letters)});
+  }
+  det_table.Print();
+  std::printf(
+      "\nShape check: detection lands within the suspicion window (~2 probe"
+      "\nperiods + timeout) in both scenarios. A full wedge recovers via"
+      "\nfailover shortly after eviction; a gray failure 'recovers'"
+      "\nimmediately because the silo never stopped serving reads.\n");
   return 0;
 }

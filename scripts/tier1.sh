@@ -1,28 +1,51 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the plain Release build + full test suite, then the
 # sanitized (ASan+UBSan) build running the concurrency / fault-injection
-# subset. Mirrors ROADMAP.md's tier-1 command and adds the sanitizer leg.
+# subset, then the TSan build running the real-thread-pool membership and
+# fault tests. Mirrors ROADMAP.md's tier-1 command and adds the sanitizer
+# legs.
 #
-# Usage: scripts/tier1.sh [--no-asan]
+# Usage: scripts/tier1.sh [--no-asan] [--no-tsan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+run_asan=1
+run_tsan=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-asan) run_asan=0 ;;
+    --no-tsan) run_tsan=0 ;;
+  esac
+done
 
 cmake -B build -S . >/dev/null
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-if [[ "${1:-}" == "--no-asan" ]]; then
-  echo "tier1: skipping sanitized leg (--no-asan)"
-  exit 0
+if [[ "$run_asan" == 1 ]]; then
+  # Sanitized leg: the tests that exercise cross-thread and fault paths.
+  cmake -B build-asan -S . -DAODB_SANITIZE=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-asan -j --target \
+    fault_injection_test aodb_features_test storage_test \
+    real_mode_stress_test wire_registry_test membership_test
+  ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
+    -R 'fault_injection_test|aodb_features_test|storage_test|real_mode_stress_test|wire_registry_test|membership_test'
+else
+  echo "tier1: skipping ASan leg (--no-asan)"
 fi
 
-# Sanitized leg: the tests that exercise cross-thread and fault paths.
-cmake -B build-asan -S . -DAODB_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  >/dev/null
-cmake --build build-asan -j --target \
-  fault_injection_test aodb_features_test storage_test real_mode_stress_test \
-  wire_registry_test
-ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-  -R 'fault_injection_test|aodb_features_test|storage_test|real_mode_stress_test|wire_registry_test'
+if [[ "$run_tsan" == 1 ]]; then
+  # TSan leg: data races in the membership agents, eviction/failover
+  # paths, and real-mode thread pools (ASan and TSan cannot share a build).
+  cmake -B build-tsan -S . -DAODB_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-tsan -j --target \
+    membership_test fault_injection_test real_mode_stress_test
+  ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
+    -R 'membership_test|fault_injection_test|real_mode_stress_test'
+else
+  echo "tier1: skipping TSan leg (--no-tsan)"
+fi
 
 echo "tier1: all green (plain + sanitized)"

@@ -16,6 +16,9 @@ namespace aodb {
 /// stateless front-end), which can send messages but hosts no actors.
 using SiloId = int32_t;
 constexpr SiloId kClientSiloId = -1;
+/// Sentinel returned by placement when no live silo exists. Never a valid
+/// routing target: the cluster converts it to Status::Unavailable.
+constexpr SiloId kNoSilo = -2;
 
 /// Address of a virtual actor: actor type name plus a string key.
 struct ActorId {

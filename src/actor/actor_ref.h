@@ -24,11 +24,19 @@
 
 namespace aodb {
 
-/// Per-call overrides: simulated CPU cost and wire size of the request.
+/// Per-call overrides: simulated CPU cost, wire size of the request, and
+/// deadline budget.
 struct CallOptions {
   Micros cost_us = kDefaultMessageCostUs;
   int64_t request_bytes = 128;
   int64_t response_bytes = 128;
+  /// Relative deadline for this call (0 = inherit). Resolution: an explicit
+  /// timeout here wins (clamped by any inherited turn deadline); otherwise
+  /// the caller's turn deadline is inherited; otherwise
+  /// RuntimeOptions::default_call_deadline_us applies. A call with a
+  /// deadline is guaranteed to complete by it — with Status::Timeout if no
+  /// real result arrived first.
+  Micros timeout_us = 0;
 };
 
 /// A typed handle to a virtual actor of type TActor. Cheap to copy. The
@@ -118,6 +126,7 @@ class ActorRef {
       }
     };
     env.fail = [promise](const Status& st) { promise.SetError(st); };
+    env.deadline_us = ResolveDeadline(opts.timeout_us);
     // Wire lane: only when the full signature is wire-encodable (checked at
     // compile time — unserializable test actors simply never take it) AND
     // the method is registered. Cluster::Send picks the lane after
@@ -136,8 +145,20 @@ class ActorRef {
         };
       }
     }
+    Micros deadline = env.deadline_us;
     cluster_->Send(std::move(env));
-    return promise.GetFuture();
+    Future<RT> future = promise.GetFuture();
+    if (deadline > 0) {
+      // Caller-side watchdog: whatever happens to the request (wedged silo,
+      // lost reply, slow actor), the promise settles by the deadline.
+      cluster->ExecutorFor(caller)->PostAt(
+          deadline, [cluster, promise, future] {
+            if (future.Ready()) return;
+            cluster->NoteDeadlineExpired();
+            promise.SetError(Status::Timeout("call deadline exceeded"));
+          });
+    }
+    return future;
   }
 
   /// Fire-and-forget invocation: no reply, failures are dropped.
@@ -166,6 +187,9 @@ class ActorRef {
       std::apply([&](auto&... unpacked) { (void)(actor.*method)(unpacked...); },
                  *args_tuple);
     };
+    // Tells carry the deadline (expired ones are dropped before dispatch)
+    // but get no watchdog: there is no promise to settle.
+    env.deadline_us = ResolveDeadline(opts.timeout_us);
     // Wire lane for tells: no reply handler — the receive-side invoker
     // skips result encoding when the reply hook is empty.
     if constexpr (WireSupported<std::decay_t<MArgs>...>::value) {
@@ -183,6 +207,29 @@ class ActorRef {
   }
 
  private:
+  /// Absolute deadline for a call sent now: explicit timeout, clamped by
+  /// the inherited turn deadline, falling back to the cluster default (see
+  /// CallOptions::timeout_us). Returns 0 for "no deadline".
+  Micros ResolveDeadline(Micros timeout_us) const {
+    Micros deadline = 0;
+    if (timeout_us > 0) {
+      deadline = cluster_->ExecutorFor(caller_silo_)->clock()->Now() +
+                 timeout_us;
+    }
+    Micros inherited = internal::CurrentTurnDeadline();
+    if (inherited > 0 && (deadline == 0 || inherited < deadline)) {
+      deadline = inherited;
+    }
+    if (deadline == 0) {
+      Micros def = cluster_->options().default_call_deadline_us;
+      if (def > 0) {
+        deadline =
+            cluster_->ExecutorFor(caller_silo_)->clock()->Now() + def;
+      }
+    }
+    return deadline;
+  }
+
   Cluster* cluster_;
   ActorId id_;
   SiloId caller_silo_;

@@ -4,11 +4,13 @@
 #include <cassert>
 
 #include "actor/fault.h"
+#include "actor/membership.h"
 #include "actor/method_registry.h"
 #include "actor/thread_pool.h"
 #include "actor/wire_format.h"
 #include "common/codec.h"
 #include "common/logging.h"
+#include "common/retry.h"
 
 namespace aodb {
 
@@ -28,6 +30,10 @@ Cluster::Cluster(const RuntimeOptions& options,
     silos_.push_back(
         std::make_unique<Silo>(static_cast<SiloId>(i), this,
                                silo_executors_[i]));
+  }
+  if (options_.membership.enable) {
+    membership_ = std::make_unique<MembershipService>(this, system_kv_);
+    membership_->Start();
   }
 }
 
@@ -55,8 +61,29 @@ StateStorage* Cluster::GetStateStorage(const std::string& name) const {
 }
 
 void Cluster::Send(Envelope env) {
-  SiloId target = directory_.LookupOrPlace(env.target, env.caller_silo);
   SiloId from = env.caller_silo;
+  if (env.deadline_us > 0 &&
+      ExecutorFor(from)->clock()->Now() > env.deadline_us) {
+    // Already past its deadline (e.g. a failover re-submission after a long
+    // backoff): don't put it on the wire at all.
+    NoteDeadlineExpired();
+    if (env.fail) env.fail(Status::Timeout("deadline expired before send"));
+    return;
+  }
+  SiloId target = directory_.LookupOrPlace(env.target, env.caller_silo);
+  if (target == kNoSilo) {
+    // Placement found no live silo anywhere. Fail fast (retries may find a
+    // rejoined cluster); nothing was cached, so the next attempt re-places.
+    no_live_silo_rejects_.fetch_add(1, std::memory_order_relaxed);
+    AODB_LOG(Warn, "no live silo to place %s on",
+             env.target.ToString().c_str());
+    if (env.fail) {
+      env.fail(Status::Unavailable("no live silo in cluster"));
+    } else {
+      NoteDeadLetters(1);
+    }
+    return;
+  }
   Silo* silo = silos_[target].get();
   if (!silo->alive()) {
     // Stale route to a crashed silo: drop the registration so the next
@@ -123,11 +150,36 @@ void Cluster::Send(Envelope env) {
 
 void Cluster::SendWire(Envelope env, SiloId from, SiloId target,
                        bool duplicate) {
+  if (options_.membership.enable && env.on_wire_reply) {
+    // Track the call so eviction of the target silo can fail it over. The
+    // stored copy keeps the ORIGINAL reply handler: a re-submission goes
+    // through SendWire again and is wrapped with a fresh call id.
+    uint64_t call_id =
+        next_call_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+    PendingCall pending;
+    pending.env = env;
+    pending.target = target;
+    pending.call_id = call_id;
+    pending.idempotent = env.wire->idempotent;
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending_calls_.emplace(call_id, std::move(pending));
+    }
+    WireReplyHandler inner = std::move(env.on_wire_reply);
+    Cluster* self = this;
+    env.on_wire_reply = [self, call_id, inner](Result<std::string>&& r) {
+      // No-op if failover already took ownership of this call (the target
+      // was evicted and the call re-submitted or failed).
+      if (!self->TakePendingCall(call_id)) return;
+      inner(std::move(r));
+    };
+  }
   WireRequest req;
   req.target = env.target;
   req.principal = env.principal;
   req.method_id = env.wire->id;
   req.cost_us = env.cost_us;
+  req.deadline_us = env.deadline_us;
   req.args = env.wire_encode_args();
   auto frame = std::make_shared<std::string>(WireEncodeRequest(req));
   if (FaultInjector* injector = fault_injector()) {
@@ -191,6 +243,7 @@ void Cluster::DeliverWireFrame(SiloId target, SiloId caller_silo,
   env.caller_silo = caller_silo;
   env.principal = req->principal;
   env.cost_us = req->cost_us + options_.network.serialization_cost_us;
+  env.deadline_us = req->deadline_us;
   env.approx_bytes = static_cast<int64_t>(frame->size());
   // Keep the wire capability on the dispatch envelope: if the silo reroutes
   // it (deactivation race, crash), the resend stays on the wire lane with
@@ -255,6 +308,19 @@ WireStats Cluster::wire_stats() const {
   s.closure_fallbacks = closure_fallbacks_.load(std::memory_order_relaxed);
   s.decode_failures = wire_decode_failures_.load(std::memory_order_relaxed);
   return s;
+}
+
+ClusterCounters Cluster::cluster_counters() const {
+  ClusterCounters c;
+  c.dead_letters = dead_letters_.load(std::memory_order_relaxed);
+  c.auto_evictions = auto_evictions_.load(std::memory_order_relaxed);
+  c.failover_resubmitted =
+      failover_resubmitted_.load(std::memory_order_relaxed);
+  c.failover_failed = failover_failed_.load(std::memory_order_relaxed);
+  c.deadline_timeouts = deadline_timeouts_.load(std::memory_order_relaxed);
+  c.no_live_silo_rejects =
+      no_live_silo_rejects_.load(std::memory_order_relaxed);
+  return c;
 }
 
 Status Cluster::CheckWireRegistry() const {
@@ -436,15 +502,104 @@ Future<Status> Cluster::DeactivateAll() {
 // --- Fault injection ---------------------------------------------------------
 
 void Cluster::KillSilo(SiloId id) {
-  if (id < 0 || id >= num_silos() || !silos_[id]->alive()) return;
-  AODB_LOG(Warn, "killing silo %d", static_cast<int>(id));
-  // Order matters: stop placing on the silo, then purge its registrations,
-  // then fail its queued work — so no new route can observe the dead silo
-  // through a fresh directory entry.
+  if (id < 0 || id >= num_silos()) return;
+  EvictInternal(id, "announced kill", /*automatic=*/false);
+}
+
+void Cluster::EvictSilo(SiloId id, const std::string& reason) {
+  if (id < 0 || id >= num_silos()) return;
+  EvictInternal(id, reason, /*automatic=*/true);
+}
+
+void Cluster::EvictInternal(SiloId id, const std::string& reason,
+                            bool automatic) {
+  std::lock_guard<std::mutex> lock(evict_mu_);
+  if (!silos_[id]->alive()) return;
+  AODB_LOG(Warn, "%s silo %d (%s)", automatic ? "evicting" : "killing",
+           static_cast<int>(id), reason.c_str());
+  // Order matters: stop placing on the silo, then purge its registrations
+  // (so no new route can observe the dead silo through a fresh directory
+  // entry), then fail over pending calls, and only THEN fail its queued
+  // work — the queued-work Unavailable completions find their pending
+  // entries already taken and cannot race the failover re-submissions for
+  // the callers' promises.
   directory_.SetSiloLive(id, false);
   directory_.PurgeSilo(id);
-  silos_[id]->Kill();
-  if (FaultInjector* injector = fault_injector()) injector->RecordKill();
+  FailoverPendingCalls(id);
+  int64_t dead = silos_[id]->Kill();
+  if (dead > 0) {
+    NoteDeadLetters(dead);
+    AODB_LOG(Warn,
+             "silo %d eviction dropped %lld envelope(s) with no failure "
+             "hook (dead letters)",
+             static_cast<int>(id), static_cast<long long>(dead));
+  }
+  if (automatic) {
+    auto_evictions_.fetch_add(1, std::memory_order_relaxed);
+  } else if (FaultInjector* injector = fault_injector()) {
+    injector->RecordKill();
+  }
+  if (membership_) membership_->NoteEvicted(id);
+}
+
+bool Cluster::TakePendingCall(uint64_t call_id) {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  return pending_calls_.erase(call_id) > 0;
+}
+
+void Cluster::FailoverPendingCalls(SiloId dead) {
+  std::vector<PendingCall> victims;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    for (auto it = pending_calls_.begin(); it != pending_calls_.end();) {
+      if (it->second.target == dead) {
+        victims.push_back(std::move(it->second));
+        it = pending_calls_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  const RetryPolicy& policy = options_.membership.failover;
+  for (auto& pc : victims) {
+    Envelope env = std::move(pc.env);
+    std::optional<Micros> backoff;
+    if (pc.idempotent) {
+      ++env.failover_attempts;
+      // Replay the policy's (seeded, jittered) backoff sequence up to this
+      // attempt; nullopt once the attempt cap is hit.
+      RetryState retry(policy, options_.seed ^ (pc.call_id * 0x9e3779b97fULL));
+      for (int a = 0; a < env.failover_attempts; ++a) {
+        backoff = retry.NextBackoff(0);
+        if (!backoff) break;
+      }
+    }
+    Executor* exec = ExecutorFor(env.caller_silo);
+    if (backoff) {
+      failover_resubmitted_.fetch_add(1, std::memory_order_relaxed);
+      AODB_LOG(Info,
+               "failing over idempotent call to %s (attempt %d, backoff "
+               "%lld us)",
+               env.target.ToString().c_str(), env.failover_attempts,
+               static_cast<long long>(*backoff));
+      Cluster* self = this;
+      exec->PostAfter(*backoff, [self, env = std::move(env)]() mutable {
+        self->Send(std::move(env));
+      });
+    } else {
+      failover_failed_.fetch_add(1, std::memory_order_relaxed);
+      Status st = Status::Unavailable(
+          pc.idempotent
+              ? "silo evicted; failover retries exhausted"
+              : "silo evicted with non-idempotent call in flight");
+      // Fail on the caller's executor, not inline: promise continuations
+      // run arbitrary user code that must not execute under evict_mu_.
+      auto fail = std::move(env.fail);
+      if (fail) {
+        exec->Post(Task{[fail = std::move(fail), st] { fail(st); }, 0});
+      }
+    }
+  }
 }
 
 void Cluster::RestartSilo(SiloId id) {
@@ -452,6 +607,7 @@ void Cluster::RestartSilo(SiloId id) {
   AODB_LOG(Info, "restarting silo %d", static_cast<int>(id));
   silos_[id]->Restart();
   directory_.SetSiloLive(id, true);
+  if (membership_) membership_->NoteRestarted(id);
   if (FaultInjector* injector = fault_injector()) injector->RecordRestart();
 }
 
@@ -461,13 +617,16 @@ bool Cluster::SiloAlive(SiloId id) const {
 }
 
 void Cluster::Stop() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (stopped_) return;
-  stopped_ = true;
-  if (scanner_alive_) *scanner_alive_ = false;
-  for (auto& [key, entry] : reminders_) {
-    if (entry.alive) *entry.alive = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    if (scanner_alive_) *scanner_alive_ = false;
+    for (auto& [key, entry] : reminders_) {
+      if (entry.alive) *entry.alive = false;
+    }
   }
+  if (membership_) membership_->Stop();
 }
 
 size_t Cluster::TotalActivations() const {

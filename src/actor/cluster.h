@@ -26,6 +26,7 @@ namespace aodb {
 template <typename T>
 class ActorRef;
 class FaultInjector;
+class MembershipService;
 class StateStorage;
 struct WireMethodEntry;
 
@@ -44,6 +45,30 @@ struct WireStats {
   /// Received wire frames rejected before dispatch (corruption, unknown
   /// method).
   int64_t decode_failures = 0;
+};
+
+/// Cluster-level robustness counters (monotonic), reported alongside
+/// WireStats. These count membership/deadline/failover events, not lane
+/// traffic.
+struct ClusterCounters {
+  /// Envelopes dropped on a silo eviction with nobody to notify (tells in
+  /// the dead silo's mailboxes or wedge backlog, tells routed to it
+  /// mid-flight).
+  int64_t dead_letters = 0;
+  /// Silos declared dead by the failure detector (announced KillSilo calls
+  /// are not counted here).
+  int64_t auto_evictions = 0;
+  /// In-flight idempotent calls transparently re-submitted after their
+  /// target silo was evicted.
+  int64_t failover_resubmitted = 0;
+  /// In-flight calls completed with Unavailable on eviction
+  /// (non-idempotent, or failover attempts exhausted).
+  int64_t failover_failed = 0;
+  /// Deadline enforcement events: watchdog completions plus expired
+  /// envelopes dropped before dispatch (one call can contribute to both).
+  int64_t deadline_timeouts = 0;
+  /// Sends rejected because no live silo existed to place the target on.
+  int64_t no_live_silo_rejects = 0;
 };
 
 /// A running actor-oriented database cluster.
@@ -149,6 +174,31 @@ class Cluster {
   /// False between KillSilo and RestartSilo.
   bool SiloAlive(SiloId id) const;
 
+  // --- Membership & failure recovery --------------------------------------
+
+  /// Removes a silo that failed WITHOUT announcing it (the failure-detector
+  /// path; KillSilo shares the same internals). Stops placement, purges its
+  /// directory registrations, fails over its pending in-flight calls
+  /// (idempotent wire calls are re-submitted, everything else completes
+  /// with Unavailable), and drops its queued work. Idempotent on a dead
+  /// silo.
+  void EvictSilo(SiloId id, const std::string& reason);
+
+  /// The failure detector, or nullptr when options.membership.enable is
+  /// false.
+  MembershipService* membership() { return membership_.get(); }
+
+  /// Counts one deadline enforcement event (called by the silo when it
+  /// drops an expired envelope and by the caller-side watchdog).
+  void NoteDeadlineExpired() {
+    deadline_timeouts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Counts envelopes dropped with nobody to notify (see
+  /// ClusterCounters::dead_letters).
+  void NoteDeadLetters(int64_t n) {
+    if (n > 0) dead_letters_.fetch_add(n, std::memory_order_relaxed);
+  }
+
   /// Installs the injector whose message-fault hooks Send consults. Not
   /// owned; pass nullptr to detach. Usually called via FaultInjector::Arm.
   void SetFaultInjector(FaultInjector* injector) {
@@ -179,6 +229,9 @@ class Cluster {
   /// Current invocation-lane counters (monotonic).
   WireStats wire_stats() const;
 
+  /// Current robustness counters (monotonic).
+  ClusterCounters cluster_counters() const;
+
   /// Registry completeness check for fail-fast startup: every registered
   /// actor type must have at least one wire-registered method. Returns
   /// FailedPrecondition naming the uncovered types otherwise. Test fixtures
@@ -192,6 +245,30 @@ class Cluster {
   };
 
   using WireReplyHandler = std::function<void(Result<std::string>&&)>;
+
+  /// One wire call in flight against a remote silo, tracked (only when
+  /// membership is enabled) so eviction can fail it over. `env` is a copy
+  /// of the pre-send envelope with the original (unwrapped) reply handler,
+  /// re-submittable through Send as-is.
+  struct PendingCall {
+    Envelope env;
+    SiloId target = 0;
+    uint64_t call_id = 0;
+    bool idempotent = false;
+  };
+
+  /// Shared implementation of KillSilo (announced) and EvictSilo
+  /// (failure-detector).
+  void EvictInternal(SiloId id, const std::string& reason, bool automatic);
+  /// Removes and returns true if the call was still pending. The wrapped
+  /// reply handler calls this first and becomes a no-op when failover
+  /// already took ownership of the call.
+  bool TakePendingCall(uint64_t call_id);
+  /// Re-submits or fails every pending call whose target is `dead`. Runs
+  /// BEFORE the silo's queues are failed, so those Unavailable completions
+  /// find their pending entries already taken and cannot race a
+  /// re-submission for the caller's promise.
+  void FailoverPendingCalls(SiloId dead);
 
   /// Remote send on the wire lane: encodes the request frame, charges the
   /// network model the measured byte count, and schedules decode + dispatch
@@ -218,7 +295,22 @@ class Cluster {
   Directory directory_;
   NetworkModel network_;
   std::vector<std::unique_ptr<Silo>> silos_;
+  std::unique_ptr<MembershipService> membership_;
   std::atomic<FaultInjector*> fault_injector_{nullptr};
+
+  /// Serializes evictions (the failure detector may fire on several silo
+  /// executors at once) and makes KillSilo/EvictSilo idempotent.
+  std::mutex evict_mu_;
+  std::mutex pending_mu_;
+  std::unordered_map<uint64_t, PendingCall> pending_calls_;
+  std::atomic<uint64_t> next_call_id_{0};
+
+  std::atomic<int64_t> dead_letters_{0};
+  std::atomic<int64_t> auto_evictions_{0};
+  std::atomic<int64_t> failover_resubmitted_{0};
+  std::atomic<int64_t> failover_failed_{0};
+  std::atomic<int64_t> deadline_timeouts_{0};
+  std::atomic<int64_t> no_live_silo_rejects_{0};
 
   std::atomic<int64_t> local_closure_sends_{0};
   std::atomic<int64_t> wire_requests_{0};

@@ -19,7 +19,9 @@ SiloId Directory::LookupOrPlace(const ActorId& id, SiloId caller) {
   auto it = entries_.find(id);
   if (it != entries_.end()) return it->second;
   SiloId silo = Place(id, caller);
-  entries_.emplace(id, silo);
+  // Never cache the no-live-silo sentinel: the next attempt re-places, so
+  // the actor comes back as soon as any silo rejoins.
+  if (silo != kNoSilo) entries_.emplace(id, silo);
   return silo;
 }
 
@@ -40,7 +42,10 @@ bool Directory::Remove(const ActorId& id, SiloId expected) {
 
 void Directory::SetSiloLive(SiloId silo, bool live) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (silo >= 0 && silo < num_silos_) live_[silo] = live ? 1 : 0;
+  if (silo >= 0 && silo < num_silos_) {
+    if ((live_[silo] != 0) != live) ++epoch_;
+    live_[silo] = live ? 1 : 0;
+  }
 }
 
 bool Directory::SiloLive(SiloId silo) const {
@@ -50,6 +55,7 @@ bool Directory::SiloLive(SiloId silo) const {
 
 size_t Directory::PurgeSilo(SiloId silo) {
   std::lock_guard<std::mutex> lock(mu_);
+  ++epoch_;
   size_t purged = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second == silo) {
@@ -60,6 +66,11 @@ size_t Directory::PurgeSilo(SiloId silo) {
     }
   }
   return purged;
+}
+
+uint64_t Directory::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
 }
 
 size_t Directory::Count() const {
@@ -85,7 +96,7 @@ SiloId Directory::Place(const ActorId& id, SiloId caller) {
         SiloId candidate = static_cast<SiloId>((home + i) % num_silos_);
         if (live_[candidate]) return candidate;
       }
-      return home;
+      return kNoSilo;
     }
   }
   return 0;
@@ -94,7 +105,7 @@ SiloId Directory::Place(const ActorId& id, SiloId caller) {
 SiloId Directory::RandomLive() {
   int live_count = 0;
   for (char l : live_) live_count += (l != 0);
-  if (live_count == 0) return static_cast<SiloId>(rng_.NextBelow(num_silos_));
+  if (live_count == 0) return kNoSilo;
   int pick = static_cast<int>(rng_.NextBelow(live_count));
   for (int i = 0; i < num_silos_; ++i) {
     if (live_[i] != 0 && pick-- == 0) return static_cast<SiloId>(i);

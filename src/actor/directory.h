@@ -27,7 +27,9 @@ class Directory {
 
   /// Returns the hosting silo for `id`, placing the actor if it has no
   /// activation yet. `caller` is used by prefer-local placement; external
-  /// callers (kClientSiloId) fall back to random.
+  /// callers (kClientSiloId) fall back to random. Returns kNoSilo (and
+  /// registers nothing) when every silo is dead: the cluster converts the
+  /// sentinel to Status::Unavailable instead of routing to a corpse.
   SiloId LookupOrPlace(const ActorId& id, SiloId caller);
 
   /// Returns the hosting silo, or nullopt if not activated.
@@ -43,17 +45,22 @@ class Directory {
   void SetSiloLive(SiloId silo, bool live);
   bool SiloLive(SiloId silo) const;
 
-  /// Drops every entry hosted on `silo` (silo crash). Returns the number of
-  /// activations whose registrations were purged.
+  /// Drops every entry hosted on `silo` (silo crash) and bumps the
+  /// directory epoch. Returns the number of activations whose registrations
+  /// were purged.
   size_t PurgeSilo(SiloId silo);
+
+  /// Monotonic epoch, bumped on every membership-visible change (a silo
+  /// marked dead/live or purged). Observers use it to detect that routes
+  /// resolved under an older epoch may be stale.
+  uint64_t epoch() const;
 
   /// Number of registered activations.
   size_t Count() const;
 
  private:
   SiloId Place(const ActorId& id, SiloId caller);
-  /// Uniformly random live silo (falls back to a uniform pick over all
-  /// silos if none is live).
+  /// Uniformly random live silo, or kNoSilo when none is live.
   SiloId RandomLive();
 
   const int num_silos_;
@@ -63,6 +70,7 @@ class Directory {
   std::unordered_map<ActorId, SiloId, ActorIdHash> entries_;
   std::unordered_map<std::string, Placement> type_placement_;
   std::vector<char> live_;
+  uint64_t epoch_ = 0;
   Rng rng_;
 };
 

@@ -29,6 +29,13 @@ struct Envelope {
   Principal principal;
   /// Simulated CPU service time of processing this message.
   Micros cost_us = kDefaultMessageCostUs;
+  /// Absolute deadline on the caller's clock (0 = none). Expired messages
+  /// are failed with Status::Timeout instead of dispatched; the caller-side
+  /// watchdog guarantees the promise settles by this time regardless.
+  Micros deadline_us = 0;
+  /// Times this call has been re-submitted by in-flight failover after a
+  /// silo eviction (bounded by MembershipOptions::failover.max_retries).
+  int failover_attempts = 0;
   /// Approximate serialized size, charged by the network model for
   /// cross-silo sends.
   int64_t approx_bytes = 128;
@@ -58,6 +65,21 @@ struct Envelope {
   /// Empty for tells.
   std::function<void(Result<std::string>&&)> on_wire_reply;
 };
+
+namespace internal {
+
+/// Absolute deadline of the actor turn currently running on this thread
+/// (0 outside a turn or when the turn has no deadline). Written by the silo
+/// around each turn; read by ActorRef so nested calls inherit the caller's
+/// remaining deadline. Thread-local, so it is correct both under the
+/// single-threaded simulator and on real worker threads (nested sends
+/// happen synchronously inside the method body).
+inline Micros& CurrentTurnDeadline() {
+  thread_local Micros deadline = 0;
+  return deadline;
+}
+
+}  // namespace internal
 
 }  // namespace aodb
 

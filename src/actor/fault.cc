@@ -1,6 +1,8 @@
 #include "actor/fault.h"
 
 #include "actor/cluster.h"
+#include "actor/membership.h"
+#include "common/logging.h"
 
 namespace aodb {
 
@@ -25,6 +27,24 @@ void FaultInjector::Arm(Cluster* cluster) {
     if (ev.restart_after_us > 0) {
       exec->PostAfter(ev.at_us + ev.restart_after_us,
                       [cluster, silo] { cluster->RestartSilo(silo); });
+    }
+  }
+  for (const SiloWedgeEvent& ev : plan_.wedges) {
+    SiloId silo = ev.silo;
+    if (ev.suppress_only) {
+      exec->PostAfter(ev.at_us, [cluster, silo] {
+        if (MembershipService* m = cluster->membership()) {
+          AODB_LOG(Warn, "gray failure: suppressing silo %d's heartbeats",
+                   static_cast<int>(silo));
+          m->SuppressSilo(silo, true);
+        }
+      });
+    } else {
+      exec->PostAfter(ev.at_us, [cluster, silo] {
+        AODB_LOG(Warn, "wedging silo %d (unannounced hang)",
+                 static_cast<int>(silo));
+        cluster->silo(silo)->SetWedged(true);
+      });
     }
   }
 }

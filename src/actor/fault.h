@@ -37,6 +37,20 @@ struct SiloCrashEvent {
   Micros restart_after_us = 0;
 };
 
+/// One scheduled unannounced failure: the silo is never killed through the
+/// cluster — it just goes quiet, and only the membership failure detector
+/// (MembershipOptions::enable) can notice and evict it. Times are relative
+/// to FaultInjector::Arm.
+struct SiloWedgeEvent {
+  Micros at_us = 0;
+  SiloId silo = 0;
+  /// false: the silo's executor wedges (Silo::SetWedged) — deliveries are
+  /// swallowed and nothing runs. true: gray failure — the silo keeps
+  /// serving application traffic but its membership agent goes dark
+  /// (MembershipService::SuppressSilo), so probes and lease renewals stop.
+  bool suppress_only = false;
+};
+
 /// Loss model of the messaging substrate, applied to every remote
 /// (cross-node) send. A dropped request surfaces at the sender as
 /// Unavailable — the transport noticing the broken connection — so callers
@@ -71,6 +85,8 @@ struct StorageFaults {
 struct FaultPlan {
   uint64_t seed = 1;
   std::vector<SiloCrashEvent> crashes;
+  /// Unannounced hangs / gray failures; require membership to recover.
+  std::vector<SiloWedgeEvent> wedges;
   MessageFaults message;
   StorageFaults storage;
 };

@@ -37,7 +37,10 @@ Status MethodRegistry::AddEntry(const std::string& type_name,
           "wire method id collision in type " + type_name + ": \"" +
           it->second->info.name + "\" vs \"" + entry->info.name + "\"");
     }
-    *installed = it->second.get();  // Idempotent re-registration.
+    // Idempotent re-registration; a later declaration of idempotency
+    // upgrades the existing entry (registration happens at startup).
+    it->second->info.idempotent |= entry->info.idempotent;
+    *installed = it->second.get();
     return Status::OK();
   }
   *installed = entry.get();

@@ -40,6 +40,10 @@ struct WireCodec<Unit> {
 struct WireMethodInfo {
   std::string name;
   uint64_t id = 0;
+  /// Declared safe to execute more than once (reads, set-style writes).
+  /// In-flight failover re-submits only idempotent calls after a silo
+  /// eviction; everything else completes with Unavailable.
+  bool idempotent = false;
   /// Codec self-check: round-trips a default argument tuple and result and
   /// verifies byte-exact re-encoding. Run by tests over every registration.
   std::function<Status()> self_check;
@@ -197,10 +201,12 @@ class MethodRegistry {
   /// Registers `method` of actor type `type_name` under `method_name`.
   /// Idempotent for repeated identical registrations; fails on a method-id
   /// collision within the type. The method's full signature (arguments and
-  /// result) must be wire-encodable — enforced at compile time.
+  /// result) must be wire-encodable — enforced at compile time. Pass
+  /// `idempotent = true` to declare the method safe to run more than once
+  /// (enables transparent re-submission by in-flight failover).
   template <typename R, typename C, typename... MArgs>
   Status Register(const std::string& type_name, R (C::*method)(MArgs...),
-                  const std::string& method_name) {
+                  const std::string& method_name, bool idempotent = false) {
     using RT = typename internal::CallResult<R>::type;
     static_assert(WireSupported<RT, std::decay_t<MArgs>...>::value,
                   "method signature is not wire-encodable; add a WireCodec "
@@ -209,6 +215,7 @@ class MethodRegistry {
     auto entry = std::make_unique<WireMethodEntry>();
     entry->info.name = method_name;
     entry->info.id = MethodId(method_name);
+    entry->info.idempotent = idempotent;
     entry->info.self_check = [method_name] {
       return internal::WireSelfCheck<RT, std::decay_t<MArgs>...>(method_name);
     };

@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "common/clock.h"
+#include "common/retry.h"
 
 namespace aodb {
 
@@ -48,6 +49,36 @@ struct WireOptions {
   bool require_wire = false;
 };
 
+/// Cluster membership & automatic failure detection (Orleans-style lease
+/// table + heartbeat ring). Off by default: without it, silo death is only
+/// handled when announced via Cluster::KillSilo.
+struct MembershipOptions {
+  /// Master switch. When enabled each silo maintains a lease row in the
+  /// system store, renews it on a heartbeat timer, and probes a ring of
+  /// peers; a quorum of suspecting silos (or an expired lease plus one
+  /// suspector) evicts the target automatically.
+  bool enable = false;
+  /// Lifetime of one lease renewal; a row older than this is expired.
+  Micros lease_duration_us = 5 * kMicrosPerSecond;
+  /// Period of lease renewal. Must be well under lease_duration_us.
+  Micros heartbeat_period_us = kMicrosPerSecond;
+  /// Period of ring probes.
+  Micros probe_period_us = kMicrosPerSecond;
+  /// A probe unanswered after this long counts as missed.
+  Micros probe_timeout_us = 400 * kMicrosPerMilli;
+  /// Number of ring successors each silo probes.
+  int probe_fanout = 2;
+  /// Consecutive missed probes before the prober suspects the target.
+  int suspect_after_missed = 3;
+  /// Distinct suspecting silos required to declare a target dead. Clamped
+  /// to the number of potential voters (live silos minus the target).
+  int eviction_quorum = 2;
+  /// Failover policy for in-flight wire calls pending against an evicted
+  /// silo: idempotent methods are re-submitted under this policy's attempt
+  /// cap and backoff; non-idempotent calls fail with Unavailable.
+  RetryPolicy failover;
+};
+
 /// Activation lifecycle management (idle deactivation scanner).
 struct LifecycleOptions {
   /// When true, silos periodically deactivate idle actors (persisting their
@@ -65,8 +96,14 @@ struct RuntimeOptions {
   /// via the paper's own 1.5x ECU ratio.
   int workers_per_silo = 2;
   Placement default_placement = Placement::kRandom;
+  /// Default absolute deadline budget for calls that do not set one
+  /// explicitly (0 = calls may wait forever). When set, every call's
+  /// promise is completed with Status::Timeout no later than its deadline,
+  /// and nested calls inherit the caller's remaining deadline.
+  Micros default_call_deadline_us = 0;
   NetworkOptions network;
   WireOptions wire;
+  MembershipOptions membership;
   LifecycleOptions lifecycle;
   uint64_t seed = 42;
 };

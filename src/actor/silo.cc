@@ -25,6 +25,14 @@ void Silo::Deliver(Envelope env) {
     if (env.fail) env.fail(Status::Unavailable("silo down"));
     return;
   }
+  if (wedged()) {
+    // Unannounced hang: the message is accepted and then nothing happens.
+    // The caller sees pure silence — exactly the partial failure that
+    // lease-based membership exists to bound.
+    std::lock_guard<std::mutex> lock(mu_);
+    wedge_backlog_.push_back(std::move(env));
+    return;
+  }
   ActivationPtr act;
   bool is_new = false;
   {
@@ -153,8 +161,22 @@ void Silo::RunTurn(const ActivationPtr& act) {
     act->mailbox.pop_front();
     act->state = ActState::kRunning;
   }
-  act->actor->ctx().caller_ = env.principal;
-  if (env.fn) env.fn(*act->actor);
+  bool expired = env.deadline_us > 0 &&
+                 executor_->clock()->Now() > env.deadline_us;
+  if (expired) {
+    // Too late to be useful: don't burn a turn on work whose caller has
+    // already been timed out by the deadline watchdog.
+    cluster_->NoteDeadlineExpired();
+    if (env.fail) env.fail(Status::Timeout("deadline expired before dispatch"));
+  } else {
+    act->actor->ctx().caller_ = env.principal;
+    // Expose the turn's deadline so nested calls made inside `fn` inherit
+    // the caller's remaining budget (save/restore for reentrancy).
+    Micros saved_deadline = internal::CurrentTurnDeadline();
+    internal::CurrentTurnDeadline() = env.deadline_us;
+    if (env.fn) env.fn(*act->actor);
+    internal::CurrentTurnDeadline() = saved_deadline;
+  }
   bool schedule = false;
   Micros cost = 0;
   {
@@ -243,9 +265,10 @@ Future<Status> Silo::DeactivateAll() {
   return done.GetFuture();
 }
 
-void Silo::Kill() {
+int64_t Silo::Kill() {
   alive_.store(false, std::memory_order_release);
   std::vector<ActivationPtr> victims;
+  std::deque<Envelope> backlog;
   {
     std::lock_guard<std::mutex> lock(mu_);
     victims.reserve(catalog_.size());
@@ -253,8 +276,17 @@ void Silo::Kill() {
     catalog_.clear();
     stats_.activations_removed += static_cast<int64_t>(victims.size());
     zombies_.insert(zombies_.end(), victims.begin(), victims.end());
+    backlog.swap(wedge_backlog_);
   }
   Status down = Status::Unavailable("silo down");
+  int64_t dead_letters = 0;
+  for (auto& e : backlog) {
+    if (e.fail) {
+      e.fail(down);
+    } else {
+      ++dead_letters;
+    }
+  }
   for (auto& act : victims) {
     std::deque<Envelope> pending;
     {
@@ -264,14 +296,20 @@ void Silo::Kill() {
     }
     if (act->actor) act->actor->ctx().CancelAllTimers();
     for (auto& e : pending) {
-      if (e.fail) e.fail(down);
+      if (e.fail) {
+        e.fail(down);
+      } else {
+        ++dead_letters;
+      }
     }
   }
+  return dead_letters;
 }
 
 void Silo::Restart() {
   // Zombies stay parked (see zombies_); the catalog is already empty, so
   // the node rejoins as a fresh, empty silo.
+  wedged_.store(false, std::memory_order_release);
   alive_.store(true, std::memory_order_release);
 }
 

@@ -58,14 +58,27 @@ class Silo {
   /// OnDeactivate (no state flush — that is the point of the fault), queued
   /// messages fail with Unavailable, and subsequent deliveries are rejected
   /// until Restart. Use Cluster::KillSilo, which also purges the directory.
-  void Kill();
+  /// Returns the number of dead letters: discarded envelopes (mailbox and
+  /// wedge backlog) that had no failure hook to notify anyone with.
+  int64_t Kill();
 
   /// Brings a killed silo back as an empty node; actors placed here after
-  /// restart activate fresh from persisted state.
+  /// restart activate fresh from persisted state. Clears any wedge.
   void Restart();
 
   /// False between Kill() and Restart().
   bool alive() const { return alive_.load(std::memory_order_acquire); }
+
+  /// Chaos hook modeling an unannounced hang (GC death spiral, wedged
+  /// executor): a wedged silo accepts deliveries but never processes them —
+  /// neither `fn` nor `fail` runs, so without failure detection callers
+  /// block forever. The membership subsystem must notice (the wedged silo
+  /// stops acking probes and renewing its lease) and evict it; eviction
+  /// fails the backlog like a crash. Cleared by Restart().
+  void SetWedged(bool wedged) {
+    wedged_.store(wedged, std::memory_order_release);
+  }
+  bool wedged() const { return wedged_.load(std::memory_order_acquire); }
 
   size_t ActivationCount() const;
   SiloStats Stats() const;
@@ -104,8 +117,11 @@ class Silo {
   Cluster* const cluster_;
   Executor* const executor_;
   std::atomic<bool> alive_{true};
+  std::atomic<bool> wedged_{false};
 
   mutable std::mutex mu_;
+  /// Envelopes swallowed while wedged; failed en masse by Kill().
+  std::deque<Envelope> wedge_backlog_;
   std::unordered_map<ActorId, ActivationPtr, ActorIdHash> catalog_;
   /// Activations closed by Kill(). Retained (not destroyed) because
   /// in-flight turns, timers, and storage completions may still hold raw

@@ -13,6 +13,7 @@ std::string WireEncodeRequest(const WireRequest& req) {
   w.PutString(req.principal.role);
   w.PutFixed64(req.method_id);
   w.PutVarint(static_cast<uint64_t>(req.cost_us));
+  w.PutVarint(static_cast<uint64_t>(req.deadline_us));
   w.PutString(req.args);
   return WireSeal(w.Release());
 }
@@ -29,6 +30,9 @@ Status WireDecodeRequest(std::string_view frame, WireRequest* out) {
   uint64_t cost = 0;
   AODB_RETURN_NOT_OK(r.GetVarint(&cost));
   out->cost_us = static_cast<Micros>(cost);
+  uint64_t deadline = 0;
+  AODB_RETURN_NOT_OK(r.GetVarint(&deadline));
+  out->deadline_us = static_cast<Micros>(deadline);
   AODB_RETURN_NOT_OK(r.GetString(&out->args));
   if (!r.AtEnd()) return Status::Corruption("trailing bytes in wire request");
   return Status::OK();

@@ -21,6 +21,9 @@ struct WireRequest {
   Principal principal;
   uint64_t method_id = 0;
   Micros cost_us = 0;
+  /// Absolute call deadline on the cluster clock (0 = none); propagated so
+  /// the receiving silo can drop expired work before dispatch.
+  Micros deadline_us = 0;
   std::string args;  ///< WireEncodeTuple of the decayed argument pack.
 };
 

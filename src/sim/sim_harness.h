@@ -80,6 +80,20 @@ bool RunUntilReady(SimHarness& harness, const Future<T>& future,
   return future.Ready();
 }
 
+/// Advances virtual time in `step` increments until `pred()` is true or
+/// `max_wait` virtual time has elapsed. Returns true if the predicate held.
+/// Used to wait for cluster-level conditions with no future to watch (e.g.
+/// the failure detector evicting a wedged silo).
+template <typename Pred>
+bool RunUntilTrue(SimHarness& harness, Pred pred, Micros max_wait,
+                  Micros step = 10 * kMicrosPerMilli) {
+  Micros deadline = harness.Now() + max_wait;
+  while (!pred() && harness.Now() < deadline) {
+    harness.RunFor(step);
+  }
+  return pred();
+}
+
 }  // namespace aodb
 
 #endif  // AODB_SIM_SIM_HARNESS_H_
