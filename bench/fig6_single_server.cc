@@ -18,10 +18,11 @@
 #include "shm_bench_util.h"
 #include "common/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aodb;
   using namespace aodb::bench;
 
+  MetricsJsonWriter metrics_out(MetricsJsonPathFromArgs(argc, argv));
   std::printf(
       "=== Figure 6: single-server throughput (1 silo, 2 vCPU m5.large) "
       "===\n");
@@ -41,11 +42,13 @@ int main() {
     config.topology.sensors = sensors;
     config.load.duration_us = BenchDurationUs();
     config.load.user_queries = false;
+    config.runtime.trace.sample_every = TraceSampleFromEnv();
     ShmRunResult r = RunShmExperiment(config);
     if (!r.setup_ok) {
       std::fprintf(stderr, "setup failed at %d sensors\n", sensors);
       return 1;
     }
+    metrics_out.Add("sensors=" + std::to_string(sensors), r.metrics);
     const LoadGenReport& rep = r.report;
     table.AddRow({TablePrinter::Fmt(static_cast<int64_t>(sensors)),
                   TablePrinter::Fmt(rep.achieved_insert_rps, 1),
@@ -58,6 +61,7 @@ int main() {
                       rep.insert_latency_us.Percentile(99))});
   }
   table.Print();
+  if (!metrics_out.Write()) return 1;
   std::printf(
       "\nShape check: throughput ~= offered up to saturation, then a plateau"
       "\nnear the calibrated ~1,650 req/s capacity (paper: ~1,800 req/s).\n");

@@ -13,10 +13,11 @@
 #include "common/table_printer.h"
 #include "shm_bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aodb;
   using namespace aodb::bench;
 
+  MetricsJsonWriter metrics_out(MetricsJsonPathFromArgs(argc, argv));
   std::printf(
       "=== Figure 8: raw time-range request latency under ingestion load "
       "===\n");
@@ -38,11 +39,13 @@ int main() {
     config.topology.sensors = sensors;
     config.load.duration_us = BenchDurationUs();
     config.load.user_queries = true;
+    config.runtime.trace.sample_every = TraceSampleFromEnv();
     ShmRunResult r = RunShmExperiment(config);
     if (!r.setup_ok) {
       std::fprintf(stderr, "setup failed at %d sensors\n", sensors);
       return 1;
     }
+    metrics_out.Add("sensors=" + std::to_string(sensors), r.metrics);
     const Histogram& h = r.report.raw_latency_us;
     table.AddRow({TablePrinter::Fmt(static_cast<int64_t>(sensors)),
                   TablePrinter::Fmt(h.count()),
@@ -67,6 +70,7 @@ int main() {
                           : 0)});
   }
   table.Print();
+  if (!metrics_out.Write()) return 1;
   std::printf(
       "\nShape check: monotone growth with load; pronounced 99.9th tail;"
       "\nwell under 1s at the 2,000-sensor / ~80%% utilization design "

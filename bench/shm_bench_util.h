@@ -7,9 +7,11 @@
 #define AODB_BENCH_SHM_BENCH_UTIL_H_
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "common/telemetry.h"
 #include "loadgen/shm_loadgen.h"
 #include "shm/platform.h"
 #include "sim/sim_harness.h"
@@ -35,6 +37,60 @@ struct ShmRunConfig {
   bool paper_placement = true;
 };
 
+/// Trace sampling for a bench run: AODB_TRACE_SAMPLE=N turns on 1-in-N root
+/// sampling (0 / unset = tracing off), e.g. for the tracing-overhead
+/// experiment in EXPERIMENTS.md.
+inline int TraceSampleFromEnv() {
+  const char* env = std::getenv("AODB_TRACE_SAMPLE");
+  return env != nullptr ? std::atoi(env) : 0;
+}
+
+/// Parses --metrics-json=<path> from a bench binary's argv (empty when the
+/// flag is absent).
+inline std::string MetricsJsonPathFromArgs(int argc, char** argv) {
+  const std::string prefix = "--metrics-json=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return std::string();
+}
+
+/// Collects one {"label", "metrics"} object per sweep point and writes the
+/// array to the --metrics-json path. A no-op when the flag was absent.
+class MetricsJsonWriter {
+ public:
+  explicit MetricsJsonWriter(std::string path) : path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(const std::string& label, const MetricsSnapshot& snap) {
+    if (!enabled()) return;
+    if (!entries_.empty()) entries_ += ",\n";
+    entries_ += "  {\"label\":\"" + label + "\",\"metrics\":" + snap.ToJson() +
+                "}";
+  }
+
+  /// Writes the accumulated array; returns false (with a message on stderr)
+  /// if the path is not writable.
+  bool Write() const {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write metrics json to %s\n",
+                   path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "[\n%s\n]\n", entries_.c_str());
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::string entries_;
+};
+
 struct ShmRunResult {
   LoadGenReport report;
   /// Mean CPU utilization across silos during the measurement interval.
@@ -43,6 +99,10 @@ struct ShmRunResult {
   /// interval only; mean request/reply bytes per remote call follow from
   /// wire_request_bytes / wire_requests.
   WireStats wire;
+  /// Full registry delta over the load interval (counters/histograms are
+  /// interval rates, gauges are end-of-run levels) — what --metrics-json
+  /// exports per sweep point.
+  MetricsSnapshot metrics;
   bool setup_ok = false;
   bool drained = false;
 };
@@ -72,6 +132,7 @@ inline ShmRunResult RunShmExperiment(const ShmRunConfig& config) {
     busy_before.push_back(harness.silo_executor(i)->Stats().busy_us);
   }
   WireStats wire_before = harness.cluster().wire_stats();
+  MetricsSnapshot metrics_before = harness.SnapshotMetrics();
   Micros load_start = harness.Now();
 
   ShmLoadGen gen(&platform, config.topology, harness.client_executor(),
@@ -107,6 +168,7 @@ inline ShmRunResult RunShmExperiment(const ShmRunConfig& config) {
       wire_after.closure_fallbacks - wire_before.closure_fallbacks;
   result.wire.decode_failures =
       wire_after.decode_failures - wire_before.decode_failures;
+  result.metrics = harness.SnapshotMetrics().Delta(metrics_before);
   result.report = gen.Finish();
   return result;
 }

@@ -28,22 +28,25 @@ if [[ "$run_asan" == 1 ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-asan -j --target \
     fault_injection_test aodb_features_test storage_test \
-    real_mode_stress_test wire_registry_test membership_test
+    real_mode_stress_test wire_registry_test membership_test \
+    telemetry_test
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R 'fault_injection_test|aodb_features_test|storage_test|real_mode_stress_test|wire_registry_test|membership_test'
+    -R 'fault_injection_test|aodb_features_test|storage_test|real_mode_stress_test|wire_registry_test|membership_test|telemetry_test'
 else
   echo "tier1: skipping ASan leg (--no-asan)"
 fi
 
 if [[ "$run_tsan" == 1 ]]; then
   # TSan leg: data races in the membership agents, eviction/failover
-  # paths, and real-mode thread pools (ASan and TSan cannot share a build).
+  # paths, real-mode thread pools, and the concurrent telemetry recorders
+  # (ASan and TSan cannot share a build).
   cmake -B build-tsan -S . -DAODB_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-tsan -j --target \
-    membership_test fault_injection_test real_mode_stress_test
+    membership_test fault_injection_test real_mode_stress_test \
+    telemetry_test
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R 'membership_test|fault_injection_test|real_mode_stress_test'
+    -R 'membership_test|fault_injection_test|real_mode_stress_test|telemetry_test'
 else
   echo "tier1: skipping TSan leg (--no-tsan)"
 fi

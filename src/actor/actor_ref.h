@@ -127,6 +127,20 @@ class ActorRef {
     };
     env.fail = [promise](const Status& st) { promise.SetError(st); };
     env.deadline_us = ResolveDeadline(opts.timeout_us);
+    // Trace propagation: inside a traced turn the active span becomes the
+    // parent of this call; at an untraced root the tracer makes the
+    // sampling decision and this call opens the root span (completed when
+    // the reply settles, below).
+    env.trace = CurrentTraceContext();
+    bool trace_root = false;
+    if (!env.trace.valid() && cluster_->tracer().enabled()) {
+      env.trace = cluster_->tracer().MaybeStartTrace();
+      if (env.trace.sampled) {
+        env.trace.span_id = cluster_->tracer().NewSpanId();
+        trace_root = true;
+      }
+    }
+    TraceContext trace = env.trace;
     // Wire lane: only when the full signature is wire-encodable (checked at
     // compile time — unserializable test actors simply never take it) AND
     // the method is registered. Cluster::Send picks the lane after
@@ -146,8 +160,31 @@ class ActorRef {
       }
     }
     Micros deadline = env.deadline_us;
+    const WireMethodInfo* wire_info = env.wire;
     cluster_->Send(std::move(env));
     Future<RT> future = promise.GetFuture();
+    if (trace_root) {
+      Tracer* tracer = &cluster->tracer();
+      Clock* clk = cluster->ExecutorFor(caller)->clock();
+      Micros start_us = clk->Now();
+      ActorId target = id_;
+      std::string name =
+          wire_info != nullptr ? std::string(wire_info->name) : id_.type;
+      future.OnReady([tracer, clk, trace, start_us, caller, target,
+                      name](Result<RT>&&) {
+        SpanRecord rec;
+        rec.trace_id = trace.trace_id;
+        rec.span_id = trace.span_id;
+        rec.parent_span_id = 0;
+        rec.name = name;
+        rec.actor = target.ToString();
+        rec.kind = "client";
+        rec.silo = caller;
+        rec.start_us = start_us;
+        rec.end_us = clk->Now();
+        tracer->Record(std::move(rec));
+      });
+    }
     if (deadline > 0) {
       // Caller-side watchdog: whatever happens to the request (wedged silo,
       // lost reply, slow actor), the promise settles by the deadline.
@@ -190,6 +227,27 @@ class ActorRef {
     // Tells carry the deadline (expired ones are dropped before dispatch)
     // but get no watchdog: there is no promise to settle.
     env.deadline_us = ResolveDeadline(opts.timeout_us);
+    // Trace propagation mirrors CallWith; a root tell has no reply to wait
+    // for, so its root span is recorded immediately (zero duration).
+    env.trace = CurrentTraceContext();
+    if (!env.trace.valid() && cluster_->tracer().enabled()) {
+      env.trace = cluster_->tracer().MaybeStartTrace();
+      if (env.trace.sampled) {
+        env.trace.span_id = cluster_->tracer().NewSpanId();
+        Micros now = cluster_->ExecutorFor(caller_silo_)->clock()->Now();
+        SpanRecord rec;
+        rec.trace_id = env.trace.trace_id;
+        rec.span_id = env.trace.span_id;
+        rec.parent_span_id = 0;
+        rec.name = id_.type;
+        rec.actor = id_.ToString();
+        rec.kind = "tell";
+        rec.silo = caller_silo_;
+        rec.start_us = now;
+        rec.end_us = now;
+        cluster_->tracer().Record(std::move(rec));
+      }
+    }
     // Wire lane for tells: no reply handler — the receive-side invoker
     // skips result encoding when the reply hook is empty.
     if constexpr (WireSupported<std::decay_t<MArgs>...>::value) {

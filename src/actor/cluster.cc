@@ -9,6 +9,7 @@
 #include "actor/thread_pool.h"
 #include "actor/wire_format.h"
 #include "common/codec.h"
+#include "storage/state_storage.h"
 #include "common/logging.h"
 #include "common/retry.h"
 
@@ -21,10 +22,25 @@ Cluster::Cluster(const RuntimeOptions& options,
       silo_executors_(std::move(silo_executors)),
       client_executor_(client_executor),
       system_kv_(system_kv),
+      tracer_(options.num_silos, options.trace.sample_every,
+              options.trace.ring_capacity, &metrics_),
       directory_(options.num_silos, options.default_placement,
                  options.seed ^ 0x5a5a5a5aULL),
       network_(options.network, options.seed ^ 0xc3c3c3c3ULL) {
   assert(static_cast<int>(silo_executors_.size()) == options.num_silos);
+  dead_letters_ = metrics_.GetCounter("cluster.dead_letters");
+  auto_evictions_ = metrics_.GetCounter("cluster.auto_evictions");
+  failover_resubmitted_ = metrics_.GetCounter("cluster.failover_resubmitted");
+  failover_failed_ = metrics_.GetCounter("cluster.failover_failed");
+  deadline_timeouts_ = metrics_.GetCounter("cluster.deadline_timeouts");
+  no_live_silo_rejects_ = metrics_.GetCounter("cluster.no_live_silo_rejects");
+  local_closure_sends_ = metrics_.GetCounter("wire.local_closure_sends");
+  wire_requests_ = metrics_.GetCounter("wire.requests");
+  wire_request_bytes_ = metrics_.GetCounter("wire.request_bytes");
+  wire_replies_ = metrics_.GetCounter("wire.replies");
+  wire_reply_bytes_ = metrics_.GetCounter("wire.reply_bytes");
+  closure_fallbacks_ = metrics_.GetCounter("wire.closure_fallbacks");
+  wire_decode_failures_ = metrics_.GetCounter("wire.decode_failures");
   silos_.reserve(options.num_silos);
   for (int i = 0; i < options.num_silos; ++i) {
     silos_.push_back(
@@ -50,6 +66,7 @@ void Cluster::SetTypePlacement(const std::string& type, Placement placement) {
 
 void Cluster::RegisterStateStorage(const std::string& name,
                                    std::shared_ptr<StateStorage> storage) {
+  storage->BindMetrics(&metrics_);
   std::lock_guard<std::mutex> lock(mu_);
   storages_[name] = std::move(storage);
 }
@@ -67,6 +84,11 @@ void Cluster::Send(Envelope env) {
     // Already past its deadline (e.g. a failover re-submission after a long
     // backoff): don't put it on the wire at all.
     NoteDeadlineExpired();
+    if (env.trace.sampled) {
+      AODB_LOG(Warn, "dropping expired send to %s (trace %llu)",
+               env.target.ToString().c_str(),
+               static_cast<unsigned long long>(env.trace.trace_id));
+    }
     if (env.fail) env.fail(Status::Timeout("deadline expired before send"));
     return;
   }
@@ -74,7 +96,7 @@ void Cluster::Send(Envelope env) {
   if (target == kNoSilo) {
     // Placement found no live silo anywhere. Fail fast (retries may find a
     // rejoined cluster); nothing was cached, so the next attempt re-places.
-    no_live_silo_rejects_.fetch_add(1, std::memory_order_relaxed);
+    no_live_silo_rejects_->Add();
     AODB_LOG(Warn, "no live silo to place %s on",
              env.target.ToString().c_str());
     if (env.fail) {
@@ -96,7 +118,7 @@ void Cluster::Send(Envelope env) {
   if (from == target) {
     // Same-silo fast path: the closure lane passes pointers — no
     // serialization, no network model.
-    local_closure_sends_.fetch_add(1, std::memory_order_relaxed);
+    local_closure_sends_->Add();
     silo->Deliver(std::move(env));
     return;
   }
@@ -127,7 +149,7 @@ void Cluster::Send(Envelope env) {
     }
     return;
   }
-  closure_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  closure_fallbacks_->Add();
   env.cost_us += options_.network.serialization_cost_us;
   Executor* exec = silo_executors_[target];
   if (duplicate) {
@@ -180,6 +202,9 @@ void Cluster::SendWire(Envelope env, SiloId from, SiloId target,
   req.method_id = env.wire->id;
   req.cost_us = env.cost_us;
   req.deadline_us = env.deadline_us;
+  req.trace_id = env.trace.trace_id;
+  req.parent_span_id = env.trace.span_id;
+  req.trace_sampled = env.trace.sampled;
   req.args = env.wire_encode_args();
   auto frame = std::make_shared<std::string>(WireEncodeRequest(req));
   if (FaultInjector* injector = fault_injector()) {
@@ -189,8 +214,8 @@ void Cluster::SendWire(Envelope env, SiloId from, SiloId target,
   // The measured frame size — not an estimate — is what the network model
   // charges transfer time for.
   env.approx_bytes = bytes;
-  wire_requests_.fetch_add(1, std::memory_order_relaxed);
-  wire_request_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  wire_requests_->Add();
+  wire_request_bytes_->Add(bytes);
   Executor* exec = silo_executors_[target];
   Cluster* self = this;
   WireReplyHandler reply = std::move(env.on_wire_reply);
@@ -226,7 +251,7 @@ void Cluster::DeliverWireFrame(SiloId target, SiloId caller_silo,
     }
   }
   if (!st.ok()) {
-    wire_decode_failures_.fetch_add(1, std::memory_order_relaxed);
+    wire_decode_failures_->Add();
     AODB_LOG(Warn, "wire request rejected: %s", st.ToString().c_str());
     if (reply) {
       // The receiver cannot even parse the request, so the error reply is
@@ -244,6 +269,9 @@ void Cluster::DeliverWireFrame(SiloId target, SiloId caller_silo,
   env.principal = req->principal;
   env.cost_us = req->cost_us + options_.network.serialization_cost_us;
   env.deadline_us = req->deadline_us;
+  env.trace.trace_id = req->trace_id;
+  env.trace.span_id = req->parent_span_id;
+  env.trace.sampled = req->trace_sampled;
   env.approx_bytes = static_cast<int64_t>(frame->size());
   // Keep the wire capability on the dispatch envelope: if the silo reroutes
   // it (deactivation race, crash), the resend stays on the wire lane with
@@ -280,8 +308,8 @@ void Cluster::SendWireReply(SiloId from, SiloId to,
     if (from != to) injector->MaybeCorruptFrame(&frame);
   }
   int64_t bytes = static_cast<int64_t>(frame.size());
-  wire_replies_.fetch_add(1, std::memory_order_relaxed);
-  wire_reply_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  wire_replies_->Add();
+  wire_reply_bytes_->Add(bytes);
   SendReply(from, to, bytes, [reply, frame = std::move(frame)]() mutable {
     reply(Result<std::string>(std::move(frame)));
   });
@@ -300,27 +328,54 @@ void Cluster::SendReply(SiloId from, SiloId to, int64_t bytes,
 
 WireStats Cluster::wire_stats() const {
   WireStats s;
-  s.local_closure_sends = local_closure_sends_.load(std::memory_order_relaxed);
-  s.wire_requests = wire_requests_.load(std::memory_order_relaxed);
-  s.wire_request_bytes = wire_request_bytes_.load(std::memory_order_relaxed);
-  s.wire_replies = wire_replies_.load(std::memory_order_relaxed);
-  s.wire_reply_bytes = wire_reply_bytes_.load(std::memory_order_relaxed);
-  s.closure_fallbacks = closure_fallbacks_.load(std::memory_order_relaxed);
-  s.decode_failures = wire_decode_failures_.load(std::memory_order_relaxed);
+  s.local_closure_sends = local_closure_sends_->value();
+  s.wire_requests = wire_requests_->value();
+  s.wire_request_bytes = wire_request_bytes_->value();
+  s.wire_replies = wire_replies_->value();
+  s.wire_reply_bytes = wire_reply_bytes_->value();
+  s.closure_fallbacks = closure_fallbacks_->value();
+  s.decode_failures = wire_decode_failures_->value();
   return s;
 }
 
 ClusterCounters Cluster::cluster_counters() const {
   ClusterCounters c;
-  c.dead_letters = dead_letters_.load(std::memory_order_relaxed);
-  c.auto_evictions = auto_evictions_.load(std::memory_order_relaxed);
-  c.failover_resubmitted =
-      failover_resubmitted_.load(std::memory_order_relaxed);
-  c.failover_failed = failover_failed_.load(std::memory_order_relaxed);
-  c.deadline_timeouts = deadline_timeouts_.load(std::memory_order_relaxed);
-  c.no_live_silo_rejects =
-      no_live_silo_rejects_.load(std::memory_order_relaxed);
+  c.dead_letters = dead_letters_->value();
+  c.auto_evictions = auto_evictions_->value();
+  c.failover_resubmitted = failover_resubmitted_->value();
+  c.failover_failed = failover_failed_->value();
+  c.deadline_timeouts = deadline_timeouts_->value();
+  c.no_live_silo_rejects = no_live_silo_rejects_->value();
   return c;
+}
+
+MetricsSnapshot Cluster::SnapshotMetrics() const {
+  // Refresh point-in-time runtime gauges before exporting. GetGauge is
+  // logically const registration (the registry is this cluster's own).
+  MetricsRegistry& reg = const_cast<MetricsRegistry&>(metrics_);
+  reg.GetGauge("cluster.activations")
+      ->Set(static_cast<int64_t>(TotalActivations()));
+  reg.GetGauge("cluster.messages_processed")->Set(TotalMessagesProcessed());
+  return metrics_.Snapshot();
+}
+
+void Cluster::RecordTurnProfile(const std::string& type, Micros queue_wait_us,
+                                Micros exec_us) {
+  TurnProfile prof;
+  {
+    std::shared_lock<std::shared_mutex> lock(turn_profile_mu_);
+    auto it = turn_profiles_.find(type);
+    if (it != turn_profiles_.end()) prof = it->second;
+  }
+  if (prof.queue_wait == nullptr) {
+    TurnProfile fresh;
+    fresh.queue_wait = metrics_.GetHistogram("turn.queue_wait_us." + type);
+    fresh.exec = metrics_.GetHistogram("turn.exec_us." + type);
+    std::unique_lock<std::shared_mutex> lock(turn_profile_mu_);
+    prof = turn_profiles_.emplace(type, fresh).first->second;
+  }
+  prof.queue_wait->Record(queue_wait_us);
+  prof.exec->Record(exec_us);
 }
 
 Status Cluster::CheckWireRegistry() const {
@@ -535,7 +590,7 @@ void Cluster::EvictInternal(SiloId id, const std::string& reason,
              static_cast<int>(id), static_cast<long long>(dead));
   }
   if (automatic) {
-    auto_evictions_.fetch_add(1, std::memory_order_relaxed);
+    auto_evictions_->Add();
   } else if (FaultInjector* injector = fault_injector()) {
     injector->RecordKill();
   }
@@ -576,18 +631,19 @@ void Cluster::FailoverPendingCalls(SiloId dead) {
     }
     Executor* exec = ExecutorFor(env.caller_silo);
     if (backoff) {
-      failover_resubmitted_.fetch_add(1, std::memory_order_relaxed);
+      failover_resubmitted_->Add();
       AODB_LOG(Info,
                "failing over idempotent call to %s (attempt %d, backoff "
-               "%lld us)",
+               "%lld us, trace %llu)",
                env.target.ToString().c_str(), env.failover_attempts,
-               static_cast<long long>(*backoff));
+               static_cast<long long>(*backoff),
+               static_cast<unsigned long long>(env.trace.trace_id));
       Cluster* self = this;
       exec->PostAfter(*backoff, [self, env = std::move(env)]() mutable {
         self->Send(std::move(env));
       });
     } else {
-      failover_failed_.fetch_add(1, std::memory_order_relaxed);
+      failover_failed_->Add();
       Status st = Status::Unavailable(
           pc.idempotent
               ? "silo evicted; failover retries exhausted"

@@ -9,6 +9,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -20,6 +21,8 @@
 #include "actor/runtime_options.h"
 #include "actor/silo.h"
 #include "actor/system_kv.h"
+#include "actor/trace.h"
+#include "common/telemetry.h"
 
 namespace aodb {
 
@@ -190,13 +193,11 @@ class Cluster {
 
   /// Counts one deadline enforcement event (called by the silo when it
   /// drops an expired envelope and by the caller-side watchdog).
-  void NoteDeadlineExpired() {
-    deadline_timeouts_.fetch_add(1, std::memory_order_relaxed);
-  }
+  void NoteDeadlineExpired() { deadline_timeouts_->Add(); }
   /// Counts envelopes dropped with nobody to notify (see
   /// ClusterCounters::dead_letters).
   void NoteDeadLetters(int64_t n) {
-    if (n > 0) dead_letters_.fetch_add(n, std::memory_order_relaxed);
+    if (n > 0) dead_letters_->Add(n);
   }
 
   /// Installs the injector whose message-fault hooks Send consults. Not
@@ -231,6 +232,35 @@ class Cluster {
 
   /// Current robustness counters (monotonic).
   ClusterCounters cluster_counters() const;
+
+  // --- Telemetry ----------------------------------------------------------
+
+  /// The unified metrics registry every subsystem records into. Resolve a
+  /// metric pointer once; record through it lock-free thereafter.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The trace collector (enabled iff options.trace.sample_every > 0).
+  Tracer& tracer() { return tracer_; }
+
+  /// Registry snapshot with point-in-time runtime gauges (activation and
+  /// message totals) refreshed first.
+  MetricsSnapshot SnapshotMetrics() const;
+
+  /// SnapshotMetrics as an aligned text table / as one JSON object.
+  std::string DumpMetrics() const { return SnapshotMetrics().ToTable(); }
+  std::string DumpMetricsJson() const { return SnapshotMetrics().ToJson(); }
+
+  /// All buffered traces, parent-linked, as JSON (see Tracer::DumpJson).
+  std::string DumpTraceJson() const { return tracer_.DumpJson(); }
+
+  /// Records one turn's mailbox wait and measured execution time into the
+  /// per-actor-type profile histograms ("turn.queue_wait_us.<type>",
+  /// "turn.exec_us.<type>"). Called by the silo after every turn; the
+  /// per-type pointers are cached so the hot path takes a shared lock and
+  /// no allocation.
+  void RecordTurnProfile(const std::string& type, Micros queue_wait_us,
+                         Micros exec_us);
 
   /// Registry completeness check for fail-fast startup: every registered
   /// actor type must have at least one wire-registered method. Returns
@@ -292,6 +322,11 @@ class Cluster {
   Executor* client_executor_;
   SystemKv* system_kv_;
 
+  /// Declared before every subsystem that registers metrics or records
+  /// spans, so it outlives all of them.
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+
   Directory directory_;
   NetworkModel network_;
   std::vector<std::unique_ptr<Silo>> silos_;
@@ -305,20 +340,30 @@ class Cluster {
   std::unordered_map<uint64_t, PendingCall> pending_calls_;
   std::atomic<uint64_t> next_call_id_{0};
 
-  std::atomic<int64_t> dead_letters_{0};
-  std::atomic<int64_t> auto_evictions_{0};
-  std::atomic<int64_t> failover_resubmitted_{0};
-  std::atomic<int64_t> failover_failed_{0};
-  std::atomic<int64_t> deadline_timeouts_{0};
-  std::atomic<int64_t> no_live_silo_rejects_{0};
+  // Robustness and wire-lane counters, registry-backed ("cluster.*" /
+  // "wire.*" series); bound once in the constructor.
+  Counter* dead_letters_;
+  Counter* auto_evictions_;
+  Counter* failover_resubmitted_;
+  Counter* failover_failed_;
+  Counter* deadline_timeouts_;
+  Counter* no_live_silo_rejects_;
 
-  std::atomic<int64_t> local_closure_sends_{0};
-  std::atomic<int64_t> wire_requests_{0};
-  std::atomic<int64_t> wire_request_bytes_{0};
-  std::atomic<int64_t> wire_replies_{0};
-  std::atomic<int64_t> wire_reply_bytes_{0};
-  std::atomic<int64_t> closure_fallbacks_{0};
-  std::atomic<int64_t> wire_decode_failures_{0};
+  Counter* local_closure_sends_;
+  Counter* wire_requests_;
+  Counter* wire_request_bytes_;
+  Counter* wire_replies_;
+  Counter* wire_reply_bytes_;
+  Counter* closure_fallbacks_;
+  Counter* wire_decode_failures_;
+
+  /// Per-actor-type turn-profile histograms (see RecordTurnProfile).
+  struct TurnProfile {
+    ConcurrentHistogram* queue_wait = nullptr;
+    ConcurrentHistogram* exec = nullptr;
+  };
+  mutable std::shared_mutex turn_profile_mu_;
+  std::unordered_map<std::string, TurnProfile> turn_profiles_;
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, Factory> factories_;

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "actor/actor_id.h"
+#include "actor/trace.h"
 #include "common/clock.h"
 #include "common/status.h"
 
@@ -39,6 +40,12 @@ struct Envelope {
   /// Approximate serialized size, charged by the network model for
   /// cross-silo sends.
   int64_t approx_bytes = 128;
+  /// Causality context of the send (invalid when the caller's request was
+  /// not sampled). Propagated across the wire, retries, and failover.
+  TraceContext trace;
+  /// Silo-local receive time, stamped by Silo::Deliver; the turn's queue
+  /// wait is measured against it.
+  Micros enqueue_us = 0;
   std::function<void(ActorBase&)> fn;
   /// Invoked instead of `fn` if the message can never be delivered (e.g.
   /// the target type is unregistered or activation failed). Calls created

@@ -20,6 +20,21 @@ FaultInjector::FaultInjector(FaultPlan plan)
 
 void FaultInjector::Arm(Cluster* cluster) {
   cluster->SetFaultInjector(this);
+  MetricsRegistry& reg = cluster->metrics();
+  dropped_metric_.store(reg.GetCounter("fault.messages_dropped"),
+                        std::memory_order_release);
+  duplicated_metric_.store(reg.GetCounter("fault.messages_duplicated"),
+                           std::memory_order_release);
+  corrupted_metric_.store(reg.GetCounter("fault.messages_corrupted"),
+                          std::memory_order_release);
+  storage_errors_metric_.store(reg.GetCounter("fault.storage_errors"),
+                               std::memory_order_release);
+  storage_spikes_metric_.store(reg.GetCounter("fault.storage_spikes"),
+                               std::memory_order_release);
+  kills_metric_.store(reg.GetCounter("fault.silo_kills"),
+                      std::memory_order_release);
+  restarts_metric_.store(reg.GetCounter("fault.silo_restarts"),
+                         std::memory_order_release);
   Executor* exec = cluster->client_executor();
   for (const SiloCrashEvent& ev : plan_.crashes) {
     SiloId silo = ev.silo;
@@ -56,7 +71,10 @@ bool FaultInjector::ShouldDropMessage() {
     std::lock_guard<std::mutex> lock(message_mu_);
     drop = message_rng_.Bernoulli(plan_.message.drop_prob);
   }
-  if (drop) messages_dropped_.fetch_add(1);
+  if (drop) {
+    messages_dropped_.fetch_add(1);
+    Mirror(dropped_metric_);
+  }
   return drop;
 }
 
@@ -67,7 +85,10 @@ bool FaultInjector::ShouldDuplicateMessage() {
     std::lock_guard<std::mutex> lock(message_mu_);
     dup = message_rng_.Bernoulli(plan_.message.duplicate_prob);
   }
-  if (dup) messages_duplicated_.fetch_add(1);
+  if (dup) {
+    messages_duplicated_.fetch_add(1);
+    Mirror(duplicated_metric_);
+  }
   return dup;
 }
 
@@ -95,6 +116,7 @@ bool FaultInjector::MaybeCorruptFrame(std::string* frame) {
     frame->resize(pick - frame->size());
   }
   messages_corrupted_.fetch_add(1);
+  Mirror(corrupted_metric_);
   return true;
 }
 
@@ -107,6 +129,7 @@ Status FaultInjector::NextStorageFault() {
   }
   if (!fail) return Status::OK();
   storage_errors_.fetch_add(1);
+  Mirror(storage_errors_metric_);
   return Status(plan_.storage.error, "injected storage fault");
 }
 
@@ -119,6 +142,7 @@ Micros FaultInjector::NextStorageDelay() {
   }
   if (!spike) return 0;
   storage_spikes_.fetch_add(1);
+  Mirror(storage_spikes_metric_);
   return plan_.storage.spike_latency_us;
 }
 

@@ -23,6 +23,7 @@
 #include "common/clock.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/telemetry.h"
 
 namespace aodb {
 
@@ -125,8 +126,14 @@ class FaultInjector {
   Micros NextStorageDelay();
 
   /// Called by Cluster when a kill / restart actually executes.
-  void RecordKill() { silo_kills_.fetch_add(1); }
-  void RecordRestart() { silo_restarts_.fetch_add(1); }
+  void RecordKill() {
+    silo_kills_.fetch_add(1);
+    Mirror(kills_metric_);
+  }
+  void RecordRestart() {
+    silo_restarts_.fetch_add(1);
+    Mirror(restarts_metric_);
+  }
 
   // --- Counters (for tests and deterministic-replay assertions) -----------
 
@@ -139,6 +146,12 @@ class FaultInjector {
   int64_t silo_restarts() const { return silo_restarts_.load(); }
 
  private:
+  /// Adds 1 to a registry mirror if Arm bound one (null before Arm — the
+  /// injector is constructible without a cluster).
+  static void Mirror(const std::atomic<Counter*>& c) {
+    if (Counter* counter = c.load(std::memory_order_acquire)) counter->Add();
+  }
+
   const FaultPlan plan_;
 
   // Independent deterministic streams so message and storage decisions do
@@ -155,6 +168,15 @@ class FaultInjector {
   std::atomic<int64_t> storage_spikes_{0};
   std::atomic<int64_t> silo_kills_{0};
   std::atomic<int64_t> silo_restarts_{0};
+
+  // Unified-registry mirrors ("fault.*" series), bound by Arm.
+  std::atomic<Counter*> dropped_metric_{nullptr};
+  std::atomic<Counter*> duplicated_metric_{nullptr};
+  std::atomic<Counter*> corrupted_metric_{nullptr};
+  std::atomic<Counter*> storage_errors_metric_{nullptr};
+  std::atomic<Counter*> storage_spikes_metric_{nullptr};
+  std::atomic<Counter*> kills_metric_{nullptr};
+  std::atomic<Counter*> restarts_metric_{nullptr};
 };
 
 }  // namespace aodb

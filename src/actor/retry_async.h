@@ -12,6 +12,7 @@
 
 #include "actor/executor.h"
 #include "actor/future.h"
+#include "actor/trace.h"
 #include "common/retry.h"
 
 namespace aodb {
@@ -33,16 +34,27 @@ struct RetryLoop {
   Executor* exec;
   RetryState retry;
   Micros start_us;
+  /// Trace context active when the loop was created; re-installed around
+  /// every attempt so retries (which run from backoff timers, off the
+  /// original thread context) stay in the caller's trace.
+  TraceContext trace_ctx;
   std::function<Future<T>()> op;
   std::function<bool(const Status&)> retryable;
   std::function<void(const Status&)> on_retry;
   Promise<T> promise;
 
   RetryLoop(Executor* e, const RetryPolicy& policy, uint64_t seed)
-      : exec(e), retry(policy, seed), start_us(e->clock()->Now()) {}
+      : exec(e),
+        retry(policy, seed),
+        start_us(e->clock()->Now()),
+        trace_ctx(CurrentTraceContext()) {}
 
   static void Attempt(std::shared_ptr<RetryLoop<T>> loop) {
-    loop->op().OnReady([loop](Result<T>&& r) {
+    Future<T> attempt = [&loop] {
+      ScopedTraceContext scope(loop->trace_ctx);
+      return loop->op();
+    }();
+    attempt.OnReady([loop](Result<T>&& r) {
       Status st = FailureOf(r);
       if (st.ok() || !loop->retryable(st)) {
         loop->promise.SetResult(std::move(r));

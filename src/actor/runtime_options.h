@@ -79,6 +79,17 @@ struct MembershipOptions {
   RetryPolicy failover;
 };
 
+/// Distributed tracing (actor/trace.h). Off by default: benchmarks opt in
+/// with a sampling rate, tests with sample_every = 1.
+struct TraceOptions {
+  /// 1-in-N root sampling; <= 0 disables tracing entirely (no ids are
+  /// allocated, no spans recorded, and envelopes carry an invalid context).
+  int sample_every = 0;
+  /// Span slots per silo ring (rounded up to a power of two). Oldest spans
+  /// are overwritten on wrap.
+  int ring_capacity = 4096;
+};
+
 /// Activation lifecycle management (idle deactivation scanner).
 struct LifecycleOptions {
   /// When true, silos periodically deactivate idle actors (persisting their
@@ -105,6 +116,12 @@ struct RuntimeOptions {
   WireOptions wire;
   MembershipOptions membership;
   LifecycleOptions lifecycle;
+  TraceOptions trace;
+  /// Turns whose measured execution time exceeds this are logged at WARN
+  /// with their actor, duration, and trace id (0 = never). Only meaningful
+  /// under the real executor; the simulator charges cost up front, so
+  /// measured execution inside a turn is ~0 there.
+  Micros slow_turn_threshold_us = 0;
   uint64_t seed = 42;
 };
 

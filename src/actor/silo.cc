@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "actor/cluster.h"
+#include "actor/method_registry.h"
 #include "common/logging.h"
 
 namespace aodb {
@@ -25,6 +26,7 @@ void Silo::Deliver(Envelope env) {
     if (env.fail) env.fail(Status::Unavailable("silo down"));
     return;
   }
+  env.enqueue_us = executor_->clock()->Now();
   if (wedged()) {
     // Unannounced hang: the message is accepted and then nothing happens.
     // The caller sees pure silence — exactly the partial failure that
@@ -161,12 +163,18 @@ void Silo::RunTurn(const ActivationPtr& act) {
     act->mailbox.pop_front();
     act->state = ActState::kRunning;
   }
-  bool expired = env.deadline_us > 0 &&
-                 executor_->clock()->Now() > env.deadline_us;
+  Micros turn_start = executor_->clock()->Now();
+  Micros queue_wait = env.enqueue_us > 0 ? turn_start - env.enqueue_us : 0;
+  bool expired = env.deadline_us > 0 && turn_start > env.deadline_us;
   if (expired) {
     // Too late to be useful: don't burn a turn on work whose caller has
     // already been timed out by the deadline watchdog.
     cluster_->NoteDeadlineExpired();
+    if (env.trace.sampled) {
+      AODB_LOG(Warn, "dropping expired turn for %s on silo %d (trace %llu)",
+               env.target.ToString().c_str(), static_cast<int>(id_),
+               static_cast<unsigned long long>(env.trace.trace_id));
+    }
     if (env.fail) env.fail(Status::Timeout("deadline expired before dispatch"));
   } else {
     act->actor->ctx().caller_ = env.principal;
@@ -174,8 +182,46 @@ void Silo::RunTurn(const ActivationPtr& act) {
     // the caller's remaining budget (save/restore for reentrancy).
     Micros saved_deadline = internal::CurrentTurnDeadline();
     internal::CurrentTurnDeadline() = env.deadline_us;
-    if (env.fn) env.fn(*act->actor);
+    // Open a turn span when the message is traced; sends made inside `fn`
+    // inherit it as their parent through the thread-local context.
+    TraceContext turn_ctx;
+    if (env.trace.sampled) {
+      turn_ctx.trace_id = env.trace.trace_id;
+      turn_ctx.span_id = cluster_->tracer().NewSpanId();
+      turn_ctx.sampled = true;
+    }
+    {
+      ScopedTraceContext scope(turn_ctx);
+      if (env.fn) env.fn(*act->actor);
+    }
     internal::CurrentTurnDeadline() = saved_deadline;
+    Micros turn_end = executor_->clock()->Now();
+    Micros exec_us = turn_end - turn_start;
+    cluster_->RecordTurnProfile(env.target.type, queue_wait, exec_us);
+    if (turn_ctx.sampled) {
+      SpanRecord rec;
+      rec.trace_id = turn_ctx.trace_id;
+      rec.span_id = turn_ctx.span_id;
+      rec.parent_span_id = env.trace.span_id;
+      rec.name = env.wire != nullptr ? env.wire->name : env.target.type;
+      rec.actor = env.target.ToString();
+      rec.kind = "turn";
+      rec.silo = id_;
+      rec.start_us = turn_start;
+      rec.end_us = turn_end;
+      rec.queue_wait_us = queue_wait;
+      cluster_->tracer().Record(std::move(rec));
+    }
+    Micros slow = cluster_->options().slow_turn_threshold_us;
+    if (slow > 0 && exec_us >= slow) {
+      AODB_LOG(Warn,
+               "slow turn: %s ran %lld us (threshold %lld us) on silo %d "
+               "(trace %llu)",
+               env.target.ToString().c_str(),
+               static_cast<long long>(exec_us), static_cast<long long>(slow),
+               static_cast<int>(id_),
+               static_cast<unsigned long long>(env.trace.trace_id));
+    }
   }
   bool schedule = false;
   Micros cost = 0;
@@ -280,13 +326,21 @@ int64_t Silo::Kill() {
   }
   Status down = Status::Unavailable("silo down");
   int64_t dead_letters = 0;
-  for (auto& e : backlog) {
+  // Per-envelope WARNs only for traced drops: the trace id makes the lost
+  // work attributable without flooding the log during chaos runs.
+  auto drop = [this, &down, &dead_letters](Envelope& e) {
     if (e.fail) {
       e.fail(down);
-    } else {
-      ++dead_letters;
+      return;
     }
-  }
+    ++dead_letters;
+    if (e.trace.sampled) {
+      AODB_LOG(Warn, "dead letter: %s dropped by kill of silo %d (trace %llu)",
+               e.target.ToString().c_str(), static_cast<int>(id_),
+               static_cast<unsigned long long>(e.trace.trace_id));
+    }
+  };
+  for (auto& e : backlog) drop(e);
   for (auto& act : victims) {
     std::deque<Envelope> pending;
     {
@@ -295,13 +349,7 @@ int64_t Silo::Kill() {
       pending.swap(act->mailbox);
     }
     if (act->actor) act->actor->ctx().CancelAllTimers();
-    for (auto& e : pending) {
-      if (e.fail) {
-        e.fail(down);
-      } else {
-        ++dead_letters;
-      }
-    }
+    for (auto& e : pending) drop(e);
   }
   return dead_letters;
 }

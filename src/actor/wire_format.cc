@@ -14,6 +14,9 @@ std::string WireEncodeRequest(const WireRequest& req) {
   w.PutFixed64(req.method_id);
   w.PutVarint(static_cast<uint64_t>(req.cost_us));
   w.PutVarint(static_cast<uint64_t>(req.deadline_us));
+  w.PutVarint(req.trace_id);
+  w.PutVarint(req.parent_span_id);
+  w.PutVarint(req.trace_sampled ? 1 : 0);
   w.PutString(req.args);
   return WireSeal(w.Release());
 }
@@ -33,6 +36,11 @@ Status WireDecodeRequest(std::string_view frame, WireRequest* out) {
   uint64_t deadline = 0;
   AODB_RETURN_NOT_OK(r.GetVarint(&deadline));
   out->deadline_us = static_cast<Micros>(deadline);
+  AODB_RETURN_NOT_OK(r.GetVarint(&out->trace_id));
+  AODB_RETURN_NOT_OK(r.GetVarint(&out->parent_span_id));
+  uint64_t sampled = 0;
+  AODB_RETURN_NOT_OK(r.GetVarint(&sampled));
+  out->trace_sampled = sampled != 0;
   AODB_RETURN_NOT_OK(r.GetString(&out->args));
   if (!r.AtEnd()) return Status::Corruption("trailing bytes in wire request");
   return Status::OK();

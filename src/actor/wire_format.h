@@ -24,6 +24,12 @@ struct WireRequest {
   /// Absolute call deadline on the cluster clock (0 = none); propagated so
   /// the receiving silo can drop expired work before dispatch.
   Micros deadline_us = 0;
+  /// Trace context of the caller's active span (all zero when the request is
+  /// untraced). Varint-encoded: cluster-local counter ids cost ~1-3 bytes
+  /// each, and an untraced request pays 3 zero bytes.
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  bool trace_sampled = false;
   std::string args;  ///< WireEncodeTuple of the decayed argument pack.
 };
 

@@ -58,26 +58,45 @@ Status TransactionalActor::ExecuteOp(std::string op, std::string arg) {
 
 bool TransactionalActor::TxnLocked() { return !lock_txn_.empty(); }
 
+TxnManager::TxnManager(Cluster* cluster, TxnOptions options)
+    : cluster_(cluster), options_(options) {
+  attempts_ = cluster->metrics().GetCounter("txn.attempts");
+  aborts_ = cluster->metrics().GetCounter("txn.aborts");
+}
+
 std::string TxnManager::NextTxnId() {
   return "txn-" + std::to_string(seq_.fetch_add(1) + 1);
 }
 
 Future<Status> TxnManager::RunOnce(std::vector<TxnOp> ops) {
   if (ops.empty()) return Future<Status>::FromValue(Status::OK());
-  attempts_.fetch_add(1);
+  attempts_->Add();
   std::string txn_id = NextTxnId();
+  // Trace: each attempt is one "txn" span; prepares and the phase-2 tells
+  // all send under it, so participant turns parent under the attempt.
+  TraceContext txn_ctx = CurrentTraceContext();
+  Tracer& tracer = cluster_->tracer();
+  if (!txn_ctx.valid() && tracer.enabled()) {
+    txn_ctx = tracer.MaybeStartTrace();
+  }
+  uint64_t parent_span = txn_ctx.span_id;
+  if (txn_ctx.sampled) txn_ctx.span_id = tracer.NewSpanId();
   std::vector<Future<Status>> prepares;
   prepares.reserve(ops.size());
-  for (const TxnOp& op : ops) {
-    prepares.push_back(
-        cluster_->RefAs<TransactionalActor>(op.actor_type, op.actor_key)
-            .Call(&TransactionalActor::TxnPrepare, txn_id, op.op, op.arg));
+  {
+    ScopedTraceContext scope(txn_ctx);
+    for (const TxnOp& op : ops) {
+      prepares.push_back(
+          cluster_->RefAs<TransactionalActor>(op.actor_type, op.actor_key)
+              .Call(&TransactionalActor::TxnPrepare, txn_id, op.op, op.arg));
+    }
   }
   Promise<Status> done;
   Cluster* cluster = cluster_;
-  auto* aborts = &aborts_;
+  Counter* aborts = aborts_;
+  Micros start_us = cluster_->client_executor()->clock()->Now();
   WhenAll(prepares).OnReady([cluster, ops = std::move(ops), txn_id, done,
-                             aborts](
+                             aborts, txn_ctx, parent_span, start_us](
                                 Result<std::vector<Result<Status>>>&& r) {
     Status outcome = Status::OK();
     if (!r.ok()) {
@@ -94,16 +113,31 @@ Future<Status> TxnManager::RunOnce(std::vector<TxnOp> ops) {
     // Phase 2: commit everywhere on success, abort everywhere otherwise.
     // Abort is also sent to participants whose prepare failed; they ignore
     // it (lock not held by this txn), which keeps the protocol simple.
-    for (const TxnOp& op : ops) {
-      auto ref =
-          cluster->RefAs<TransactionalActor>(op.actor_type, op.actor_key);
-      if (outcome.ok()) {
-        ref.Tell(&TransactionalActor::TxnCommit, txn_id);
-      } else {
-        ref.Tell(&TransactionalActor::TxnAbort, txn_id);
+    {
+      ScopedTraceContext scope(txn_ctx);
+      for (const TxnOp& op : ops) {
+        auto ref =
+            cluster->RefAs<TransactionalActor>(op.actor_type, op.actor_key);
+        if (outcome.ok()) {
+          ref.Tell(&TransactionalActor::TxnCommit, txn_id);
+        } else {
+          ref.Tell(&TransactionalActor::TxnAbort, txn_id);
+        }
       }
     }
-    if (!outcome.ok()) aborts->fetch_add(1);
+    if (!outcome.ok()) aborts->Add();
+    if (txn_ctx.sampled) {
+      SpanRecord rec;
+      rec.trace_id = txn_ctx.trace_id;
+      rec.span_id = txn_ctx.span_id;
+      rec.parent_span_id = parent_span;
+      rec.name = txn_id;
+      rec.kind = "txn";
+      rec.silo = kClientSiloId;
+      rec.start_us = start_us;
+      rec.end_us = cluster->client_executor()->clock()->Now();
+      cluster->tracer().Record(std::move(rec));
+    }
     done.SetValue(outcome);
   });
   return done.GetFuture();

@@ -20,6 +20,7 @@
 #include "actor/actor_ref.h"
 #include "actor/runtime.h"
 #include "common/retry.h"
+#include "common/telemetry.h"
 
 namespace aodb {
 
@@ -93,13 +94,14 @@ struct TxnOptions {
   RetryPolicy retry;
 };
 
-/// Client-side 2PC coordinator.
+/// Client-side 2PC coordinator. Counters live in the cluster's unified
+/// registry ("txn.*" series).
 class TxnManager {
  public:
-  explicit TxnManager(Cluster* cluster, TxnOptions options = TxnOptions())
-      : cluster_(cluster), options_(options) {}
+  explicit TxnManager(Cluster* cluster, TxnOptions options = TxnOptions());
 
-  /// Runs one transaction attempt: prepare all, then commit or abort.
+  /// Runs one transaction attempt: prepare all, then commit or abort. Each
+  /// attempt is one "txn" span; prepare/commit/abort turns link under it.
   Future<Status> RunOnce(std::vector<TxnOp> ops);
 
   /// Runs with retries on Aborted / Unavailable under options().retry.
@@ -107,8 +109,8 @@ class TxnManager {
 
   /// Transactions coordinated (attempts) and aborts observed, for tests
   /// and the consistency ablation bench.
-  int64_t attempts() const { return attempts_.load(); }
-  int64_t aborts() const { return aborts_.load(); }
+  int64_t attempts() const { return attempts_->value(); }
+  int64_t aborts() const { return aborts_->value(); }
 
  private:
   std::string NextTxnId();
@@ -117,8 +119,8 @@ class TxnManager {
   const TxnOptions options_;
   std::atomic<int64_t> seq_{0};
   std::atomic<uint64_t> seed_seq_{0};
-  std::atomic<int64_t> attempts_{0};
-  std::atomic<int64_t> aborts_{0};
+  Counter* attempts_;
+  Counter* aborts_;
 };
 
 }  // namespace aodb

@@ -5,6 +5,15 @@
 
 namespace aodb {
 
+WorkflowEngine::WorkflowEngine(Cluster* cluster, WorkflowOptions options)
+    : cluster_(cluster), options_(options) {
+  MetricsRegistry& reg = cluster->metrics();
+  steps_executed_ = reg.GetCounter("workflow.steps_executed");
+  retries_ = reg.GetCounter("workflow.retries");
+  compensations_ = reg.GetCounter("workflow.compensations");
+  compensation_failures_ = reg.GetCounter("workflow.compensation_failures");
+}
+
 Future<Status> WorkflowEngine::Run(std::vector<WorkflowStep> steps) {
   auto state = std::make_shared<RunState>();
   state->steps = std::move(steps);
@@ -12,6 +21,33 @@ Future<Status> WorkflowEngine::Run(std::vector<WorkflowStep> steps) {
     return Future<Status>::FromValue(Status::OK());
   }
   Future<Status> out = state->done.GetFuture();
+  // Trace: inherit the caller's context (the workflow becomes a child span)
+  // or, at an untraced root, take the tracer's sampling decision.
+  state->trace = CurrentTraceContext();
+  Tracer& tracer = cluster_->tracer();
+  if (!state->trace.valid() && tracer.enabled()) {
+    state->trace = tracer.MaybeStartTrace();
+  }
+  if (state->trace.sampled) {
+    uint64_t parent = state->trace.span_id;
+    state->trace.span_id = tracer.NewSpanId();
+    Clock* clk = cluster_->client_executor()->clock();
+    Micros start_us = clk->Now();
+    Tracer* tp = &tracer;
+    TraceContext tc = state->trace;
+    out.OnReady([tp, clk, tc, parent, start_us](Result<Status>&&) {
+      SpanRecord rec;
+      rec.trace_id = tc.trace_id;
+      rec.span_id = tc.span_id;
+      rec.parent_span_id = parent;
+      rec.name = "workflow";
+      rec.kind = "workflow";
+      rec.silo = kClientSiloId;
+      rec.start_us = start_us;
+      rec.end_us = clk->Now();
+      tp->Record(std::move(rec));
+    });
+  }
   RunStep(state);
   return out;
 }
@@ -28,6 +64,9 @@ void WorkflowEngine::RunStep(std::shared_ptr<RunState> state) {
   }
   Cluster* cluster = cluster_;
   WorkflowStep step = state->steps[state->next];
+  // Install the workflow's context so the retry loop (and through it every
+  // step send, including retried ones) parents under the workflow span.
+  ScopedTraceContext scope(state->trace);
   RetryAsync<Status>(
       cluster_->client_executor(), options_.retry, NextSeed(),
       [cluster, step] {
@@ -35,11 +74,11 @@ void WorkflowEngine::RunStep(std::shared_ptr<RunState> state) {
             ->RefAs<TransactionalActor>(step.actor_type, step.actor_key)
             .Call(&TransactionalActor::ExecuteOp, step.op, step.arg);
       },
-      IsTransient, [this](const Status&) { retries_.fetch_add(1); })
+      IsTransient, [this](const Status&) { retries_->Add(); })
       .OnReady([this, state](Result<Status>&& r) {
         Status st = r.ok() ? r.value() : r.status();
         if (st.ok()) {
-          steps_executed_.fetch_add(1);
+          steps_executed_->Add();
           ++state->next;
           RunStep(state);
           return;
@@ -55,9 +94,10 @@ void WorkflowEngine::Compensate(const std::shared_ptr<RunState>& state,
   for (size_t i = completed; i-- > 0;) {
     const WorkflowStep& step = state->steps[i];
     if (step.compensate_op.empty()) continue;
-    compensations_.fetch_add(1);
+    compensations_->Add();
     Cluster* cluster = cluster_;
     WorkflowStep comp = step;
+    ScopedTraceContext scope(state->trace);
     RetryAsync<Status>(
         cluster_->client_executor(), options_.retry, NextSeed(),
         [cluster, comp] {
@@ -66,11 +106,11 @@ void WorkflowEngine::Compensate(const std::shared_ptr<RunState>& state,
               .Call(&TransactionalActor::ExecuteOp, comp.compensate_op,
                     comp.compensate_arg);
         },
-        IsTransient, [this](const Status&) { retries_.fetch_add(1); })
+        IsTransient, [this](const Status&) { retries_->Add(); })
         .OnReady([this, comp](Result<Status>&& r) {
           Status st = r.ok() ? r.value() : r.status();
           if (!st.ok()) {
-            compensation_failures_.fetch_add(1);
+            compensation_failures_->Add();
             AODB_LOG(Error, "compensation %s on %s/%s failed permanently: %s",
                      comp.compensate_op.c_str(), comp.actor_type.c_str(),
                      comp.actor_key.c_str(), st.ToString().c_str());

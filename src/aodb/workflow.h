@@ -17,8 +17,10 @@
 #include <string>
 #include <vector>
 
+#include "actor/trace.h"
 #include "aodb/txn.h"
 #include "common/retry.h"
+#include "common/telemetry.h"
 
 namespace aodb {
 
@@ -40,25 +42,28 @@ struct WorkflowOptions {
   RetryPolicy retry;
 };
 
-/// Executes workflows against a cluster. Thread-safe.
+/// Executes workflows against a cluster. Thread-safe. Counters live in the
+/// cluster's unified registry ("workflow.*" series).
 class WorkflowEngine {
  public:
   explicit WorkflowEngine(Cluster* cluster,
-                          WorkflowOptions options = WorkflowOptions())
-      : cluster_(cluster), options_(options) {}
+                          WorkflowOptions options = WorkflowOptions());
 
   /// Runs the steps in order. The returned status is OK only if every step
   /// applied. On permanent failure, compensations of completed steps are
   /// issued (asynchronously, with retries) before the failure is reported.
+  /// When invoked inside a traced scope the whole workflow becomes one
+  /// child span and every step turn links under it; at an untraced root the
+  /// tracer's sampling decision applies.
   Future<Status> Run(std::vector<WorkflowStep> steps);
 
-  int64_t steps_executed() const { return steps_executed_.load(); }
-  int64_t retries() const { return retries_.load(); }
-  int64_t compensations() const { return compensations_.load(); }
+  int64_t steps_executed() const { return steps_executed_->value(); }
+  int64_t retries() const { return retries_->value(); }
+  int64_t compensations() const { return compensations_->value(); }
   /// Compensations that failed permanently (after retries). Non-zero means
   /// manual repair is needed; each is also logged at Error.
   int64_t compensation_failures() const {
-    return compensation_failures_.load();
+    return compensation_failures_->value();
   }
 
  private:
@@ -66,6 +71,9 @@ class WorkflowEngine {
     std::vector<WorkflowStep> steps;
     size_t next = 0;
     Promise<Status> done;
+    /// Context installed around every step send (span_id = the workflow's
+    /// own span once sampled), so step turns parent under the workflow.
+    TraceContext trace;
   };
 
   void RunStep(std::shared_ptr<RunState> state);
@@ -76,10 +84,10 @@ class WorkflowEngine {
   Cluster* cluster_;
   const WorkflowOptions options_;
   std::atomic<uint64_t> seed_seq_{0};
-  std::atomic<int64_t> steps_executed_{0};
-  std::atomic<int64_t> retries_{0};
-  std::atomic<int64_t> compensations_{0};
-  std::atomic<int64_t> compensation_failures_{0};
+  Counter* steps_executed_;
+  Counter* retries_;
+  Counter* compensations_;
+  Counter* compensation_failures_;
 };
 
 }  // namespace aodb

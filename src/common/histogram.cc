@@ -64,6 +64,39 @@ void Histogram::Merge(const Histogram& other) {
   sum_sq_ += other.sum_sq_;
 }
 
+void Histogram::SubtractClamped(const Histogram& other) {
+  if (other.count_ == 0) return;
+  int64_t remaining = 0;
+  int first = -1;
+  int last = -1;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] = std::max<int64_t>(0, buckets_[i] - other.buckets_[i]);
+    if (buckets_[i] > 0) {
+      remaining += buckets_[i];
+      if (first < 0) first = static_cast<int>(i);
+      last = static_cast<int>(i);
+    }
+  }
+  count_ = remaining;
+  if (remaining == 0) {
+    Reset();
+    return;
+  }
+  // Moments and extrema of the survivors are only known to bucket
+  // resolution; rebuild them from midpoints.
+  min_ = BucketMidpoint(first);
+  max_ = BucketMidpoint(last);
+  sum_ = 0;
+  sum_sq_ = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    double mid = static_cast<double>(BucketMidpoint(static_cast<int>(i)));
+    double n = static_cast<double>(buckets_[i]);
+    sum_ += mid * n;
+    sum_sq_ += mid * mid * n;
+  }
+}
+
 void Histogram::Reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;

@@ -14,6 +14,10 @@ namespace aodb {
 /// Histogram over non-negative integer values (typically latency in
 /// microseconds). Buckets grow geometrically: 64 linear sub-buckets per
 /// power of two, giving <= ~1.6% relative error on percentile queries.
+///
+/// NOT thread-safe: Record under concurrent writers is a data race. Use
+/// ConcurrentHistogram (common/telemetry.h) for shared recording and
+/// Snapshot() it into a Histogram for queries.
 class Histogram {
  public:
   Histogram();
@@ -26,6 +30,12 @@ class Histogram {
 
   /// Adds all observations of `other` into this histogram.
   void Merge(const Histogram& other);
+
+  /// Removes `other`'s observations from this histogram (interval deltas:
+  /// end-of-window snapshot minus start-of-window snapshot). Buckets and
+  /// count clamp at zero; min/max/mean are recomputed from the surviving
+  /// buckets, so they carry bucket-midpoint error after subtraction.
+  void SubtractClamped(const Histogram& other);
 
   /// Removes all observations.
   void Reset();
@@ -42,14 +52,18 @@ class Histogram {
   /// One-line summary: count, mean, p50/p90/p99/p99.9, max.
   std::string Summary() const;
 
- private:
+  // Bucket layout, shared with ConcurrentHistogram (common/telemetry.h) so
+  // its atomic buckets rebuild a Histogram without re-bucketing error (the
+  // midpoint of any bucket indexes back to the same bucket).
   static constexpr int kSubBucketBits = 6;  // 64 sub-buckets per octave.
   static constexpr int kSubBuckets = 1 << kSubBucketBits;
   static constexpr int kOctaves = 40;       // covers up to ~2^40 us.
+  static constexpr int kBucketCount = kOctaves * kSubBuckets;
 
   static int BucketIndex(int64_t value);
   static int64_t BucketMidpoint(int index);
 
+ private:
   std::vector<int64_t> buckets_;
   int64_t count_;
   int64_t max_;

@@ -1,0 +1,234 @@
+#include "common/telemetry.h"
+
+#include <cstdio>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+namespace aodb {
+
+// --- ConcurrentHistogram -----------------------------------------------------
+
+ConcurrentHistogram::ConcurrentHistogram()
+    : buckets_(new std::atomic<int64_t>[Histogram::kBucketCount]),
+      min_(std::numeric_limits<int64_t>::max()) {
+  for (int i = 0; i < Histogram::kBucketCount; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void ConcurrentHistogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[Histogram::BucketIndex(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  int64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram ConcurrentHistogram::Snapshot() const {
+  // One pass to find the extreme non-empty buckets, so the exactly tracked
+  // min/max can replace (not add to) one midpoint observation each —
+  // the rebuilt histogram's count matches the recorded count.
+  int lo_bucket = -1;
+  int hi_bucket = -1;
+  for (int i = 0; i < Histogram::kBucketCount; ++i) {
+    if (buckets_[i].load(std::memory_order_relaxed) > 0) {
+      if (lo_bucket < 0) lo_bucket = i;
+      hi_bucket = i;
+    }
+  }
+  Histogram h;
+  if (lo_bucket < 0) return h;
+  int64_t lo = min_.load(std::memory_order_relaxed);
+  int64_t hi = max_.load(std::memory_order_relaxed);
+  bool exact = lo != std::numeric_limits<int64_t>::max();
+  for (int i = lo_bucket; i <= hi_bucket; ++i) {
+    int64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n <= 0) continue;
+    if (exact && lo == hi) {
+      // Every observation was the same value; rebuild it exactly.
+      h.RecordMultiple(lo, n);
+      continue;
+    }
+    if (exact && i == lo_bucket) {
+      h.Record(lo);
+      --n;
+    }
+    if (exact && i == hi_bucket && n > 0) {
+      h.Record(hi);
+      --n;
+    }
+    if (n > 0) h.RecordMultiple(Histogram::BucketMidpoint(i), n);
+  }
+  return h;
+}
+
+// --- MetricsSnapshot ---------------------------------------------------------
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot out = *this;
+  for (auto& [name, v] : out.counters) {
+    auto it = earlier.counters.find(name);
+    if (it != earlier.counters.end()) {
+      v = v >= it->second ? v - it->second : 0;
+    }
+  }
+  for (auto& [name, h] : out.histograms) {
+    auto it = earlier.histograms.find(name);
+    if (it != earlier.histograms.end()) h.SubtractClamped(it->second);
+  }
+  return out;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] += v;
+  for (const auto& [name, h] : other.histograms) {
+    auto [it, inserted] = histograms.emplace(name, h);
+    if (!inserted) it->second.Merge(h);
+  }
+}
+
+std::string MetricsSnapshot::ToTable() const {
+  size_t width = 4;
+  for (const auto& [name, v] : counters) width = std::max(width, name.size());
+  for (const auto& [name, v] : gauges) width = std::max(width, name.size());
+  for (const auto& [name, h] : histograms) {
+    width = std::max(width, name.size());
+  }
+  std::string out;
+  char buf[512];
+  auto row = [&](const std::string& name, const std::string& value) {
+    std::snprintf(buf, sizeof(buf), "%-*s  %s\n", static_cast<int>(width),
+                  name.c_str(), value.c_str());
+    out += buf;
+  };
+  for (const auto& [name, v] : counters) row(name, std::to_string(v));
+  for (const auto& [name, v] : gauges) row(name, std::to_string(v));
+  for (const auto& [name, h] : histograms) row(name, h.Summary());
+  return out;
+}
+
+namespace {
+
+/// Minimal JSON string escaping (metric names are plain identifiers, but a
+/// dump must never emit invalid JSON whatever the name).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  char buf[320];
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(
+        buf, sizeof(buf),
+        "\"%s\":{\"count\":%lld,\"mean\":%.2f,\"min\":%lld,\"p50\":%lld,"
+        "\"p90\":%lld,\"p99\":%lld,\"p999\":%lld,\"max\":%lld}",
+        JsonEscape(name).c_str(), static_cast<long long>(h.count()), h.Mean(),
+        static_cast<long long>(h.min()),
+        static_cast<long long>(h.Percentile(50)),
+        static_cast<long long>(h.Percentile(90)),
+        static_cast<long long>(h.Percentile(99)),
+        static_cast<long long>(h.Percentile(99.9)),
+        static_cast<long long>(h.max()));
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = counters_.find(name);
+    if (it != counters_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = gauges_.find(name);
+    if (it != gauges_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+ConcurrentHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<ConcurrentHistogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace(name, h->Snapshot());
+  }
+  return snap;
+}
+
+}  // namespace aodb

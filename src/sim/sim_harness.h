@@ -51,6 +51,13 @@ class SimHarness {
     return scheduler_.RunAll(max_events);
   }
 
+  /// Telemetry convenience: snapshot of the cluster's unified registry and
+  /// the trace dump, so sim experiments can report without reaching through
+  /// cluster(). Both are safe to call mid-run.
+  MetricsSnapshot SnapshotMetrics() const { return cluster_->SnapshotMetrics(); }
+  std::string DumpMetrics() const { return cluster_->DumpMetrics(); }
+  std::string DumpTraceJson() const { return cluster_->DumpTraceJson(); }
+
   /// Mean CPU utilization across all silos since simulation start.
   double MeanUtilization() const {
     if (silo_execs_.empty()) return 0.0;

@@ -38,6 +38,15 @@ CloudKvStateStorage::CloudKvStateStorage(KvStore* backing,
       read_bucket_(options.read_units_per_sec, options.read_units_per_sec),
       rng_(options.seed) {}
 
+void CloudKvStateStorage::BindMetrics(MetricsRegistry* metrics) {
+  writes_metric_.store(metrics->GetCounter("storage.cloud.writes"),
+                       std::memory_order_release);
+  reads_metric_.store(metrics->GetCounter("storage.cloud.reads"),
+                      std::memory_order_release);
+  throttled_metric_.store(metrics->GetCounter("storage.cloud.throttled"),
+                          std::memory_order_release);
+}
+
 double CloudKvStateStorage::UnitsFor(int64_t bytes) const {
   int64_t units = (bytes + options_.unit_bytes - 1) / options_.unit_bytes;
   return static_cast<double>(std::max<int64_t>(1, units));
@@ -60,6 +69,9 @@ Future<Status> CloudKvStateStorage::Write(const std::string& grain_key,
       std::lock_guard<std::mutex> lock(mu_);
       ++throttled_;
     }
+    if (Counter* c = throttled_metric_.load(std::memory_order_acquire)) {
+      c->Add();
+    }
     return Future<Status>::FromError(
         Status::Unavailable("write capacity exceeded"));
   }
@@ -67,6 +79,7 @@ Future<Status> CloudKvStateStorage::Write(const std::string& grain_key,
     std::lock_guard<std::mutex> lock(mu_);
     ++writes_;
   }
+  if (Counter* c = writes_metric_.load(std::memory_order_acquire)) c->Add();
   Micros delay = wait + SampleLatency();
   Promise<Status> promise;
   KvStore* backing = backing_;
@@ -88,6 +101,9 @@ Future<std::string> CloudKvStateStorage::Read(const std::string& grain_key,
       std::lock_guard<std::mutex> lock(mu_);
       ++throttled_;
     }
+    if (Counter* c = throttled_metric_.load(std::memory_order_acquire)) {
+      c->Add();
+    }
     return Future<std::string>::FromError(
         Status::Unavailable("read capacity exceeded"));
   }
@@ -95,6 +111,7 @@ Future<std::string> CloudKvStateStorage::Read(const std::string& grain_key,
     std::lock_guard<std::mutex> lock(mu_);
     ++reads_;
   }
+  if (Counter* c = reads_metric_.load(std::memory_order_acquire)) c->Add();
   Micros delay = wait + SampleLatency();
   Promise<std::string> promise;
   KvStore* backing = backing_;

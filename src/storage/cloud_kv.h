@@ -7,9 +7,11 @@
 #ifndef AODB_STORAGE_CLOUD_KV_H_
 #define AODB_STORAGE_CLOUD_KV_H_
 
+#include <atomic>
 #include <mutex>
 
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "storage/state_storage.h"
 
 namespace aodb {
@@ -68,6 +70,10 @@ class CloudKvStateStorage final : public StateStorage {
                             Executor* exec) override;
   Future<Status> Clear(const std::string& grain_key, Executor* exec) override;
 
+  /// Mirrors the provider's counters into the unified registry as
+  /// "storage.cloud.writes/reads/throttled" (called on registration).
+  void BindMetrics(MetricsRegistry* metrics) override;
+
   /// Counters for tests and the persistence-policy ablation bench.
   int64_t writes() const;
   int64_t reads() const;
@@ -87,6 +93,12 @@ class CloudKvStateStorage final : public StateStorage {
   int64_t writes_ = 0;
   int64_t reads_ = 0;
   int64_t throttled_ = 0;
+
+  // Registry mirrors; null until BindMetrics (atomic because registration
+  // may race in-flight requests in real mode).
+  std::atomic<Counter*> writes_metric_{nullptr};
+  std::atomic<Counter*> reads_metric_{nullptr};
+  std::atomic<Counter*> throttled_metric_{nullptr};
 };
 
 }  // namespace aodb

@@ -28,6 +28,12 @@ class FaultyStateStorage final : public StateStorage {
                      FaultInjector* injector)
       : inner_(std::move(inner)), injector_(injector) {}
 
+  /// Metrics belong to the real provider: forward so the decorator is
+  /// transparent in the registry.
+  void BindMetrics(MetricsRegistry* metrics) override {
+    inner_->BindMetrics(metrics);
+  }
+
   Future<Status> Write(const std::string& grain_key, std::string bytes,
                        Executor* exec) override {
     Status fault = injector_->NextStorageFault();

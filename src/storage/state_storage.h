@@ -15,11 +15,19 @@
 
 namespace aodb {
 
+class MetricsRegistry;
+
 /// Asynchronous state store. `exec` supplies the completion scheduling (and
 /// in simulation mode, the virtual time base for the provider's latency).
 class StateStorage {
  public:
   virtual ~StateStorage() = default;
+
+  /// Called once when the provider is registered on a cluster
+  /// (Cluster::RegisterStateStorage): providers that keep internal counters
+  /// mirror them into the cluster's unified registry ("storage.*" series).
+  /// Default: no metrics exported.
+  virtual void BindMetrics(MetricsRegistry* metrics) { (void)metrics; }
 
   /// Persists `bytes` as the latest state snapshot of `grain_key`.
   virtual Future<Status> Write(const std::string& grain_key,
