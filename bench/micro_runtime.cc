@@ -62,11 +62,12 @@ void BM_WhenAllFanIn(benchmark::State& state) {
 }
 BENCHMARK(BM_WhenAllFanIn)->Arg(8)->Arg(64)->Arg(512);
 
-/// Round-trip latency of one actor call on a real 2-thread silo.
+/// Round-trip latency of one actor call on a real silo with `range(0)`
+/// worker threads.
 void BM_RealModeCallRoundTrip(benchmark::State& state) {
   RuntimeOptions options;
   options.num_silos = 1;
-  options.workers_per_silo = 2;
+  options.workers_per_silo = static_cast<int>(state.range(0));
   options.network.client_latency_us = 0;
   options.network.jitter_us = 0;
   RealClusterHandle handle(options);
@@ -77,30 +78,94 @@ void BM_RealModeCallRoundTrip(benchmark::State& state) {
     benchmark::DoNotOptimize(ref.Call(&BenchCounter::Add, int64_t{1}).Get());
   }
 }
-BENCHMARK(BM_RealModeCallRoundTrip);
+BENCHMARK(BM_RealModeCallRoundTrip)->Arg(2)->Arg(8);
 
-/// Sustained fire-and-forget message throughput on a real silo.
+/// Sustained fire-and-forget enqueue rate on a real silo: `range(0)` workers,
+/// `range(1)` target actors, one producer thread. Measures the send-side cost
+/// of the same-silo closure lane (drain happens after timing).
 void BM_RealModeTellThroughput(benchmark::State& state) {
   RuntimeOptions options;
   options.num_silos = 1;
-  options.workers_per_silo = 2;
+  options.workers_per_silo = static_cast<int>(state.range(0));
   options.network.client_latency_us = 0;
   options.network.jitter_us = 0;
   RealClusterHandle handle(options);
   handle->RegisterActorType<BenchCounter>();
-  auto ref = handle->Ref<BenchCounter>("t");
-  ref.Call(&BenchCounter::Value).Get();
+  const int actors = static_cast<int>(state.range(1));
+  std::vector<ActorRef<BenchCounter>> refs;
+  refs.reserve(actors);
+  for (int i = 0; i < actors; ++i) {
+    refs.push_back(handle->Ref<BenchCounter>("t" + std::to_string(i)));
+    refs.back().Call(&BenchCounter::Value).Get();  // Activate first.
+  }
   int64_t sent = 0;
   for (auto _ : state) {
-    ref.Tell(&BenchCounter::Add, int64_t{1});
+    refs[sent % actors].Tell(&BenchCounter::Add, int64_t{1});
     ++sent;
   }
-  // Drain so the counter matches and no work leaks past timing.
-  while (ref.Call(&BenchCounter::Value).Get().value() < sent) {
+  // Drain so the counters match and no work leaks past timing.
+  for (int i = 0; i < actors; ++i) {
+    int64_t expect = sent / actors + (i < sent % actors ? 1 : 0);
+    while (refs[i].Call(&BenchCounter::Value).Get().value() < expect) {
+    }
   }
   state.SetItemsProcessed(sent);
 }
-BENCHMARK(BM_RealModeTellThroughput);
+BENCHMARK(BM_RealModeTellThroughput)
+    ->Args({2, 1})
+    ->Args({8, 16})
+    ->UseRealTime();
+
+/// End-to-end fire-and-forget throughput: each iteration sends a burst of
+/// tells and waits for every one to be PROCESSED, so the rate includes the
+/// full schedule/dispatch path, not just the enqueue. This is the headline
+/// same-silo hot-path number (`range(0)` workers, `range(1)` actors).
+void BM_RealModeTellDrain(benchmark::State& state) {
+  RuntimeOptions options;
+  options.num_silos = 1;
+  options.workers_per_silo = static_cast<int>(state.range(0));
+  options.network.client_latency_us = 0;
+  options.network.jitter_us = 0;
+  RealClusterHandle handle(options);
+  handle->RegisterActorType<BenchCounter>();
+  const int actors = static_cast<int>(state.range(1));
+  constexpr int kBurstPerActor = 512;
+  std::vector<ActorRef<BenchCounter>> refs;
+  refs.reserve(actors);
+  for (int i = 0; i < actors; ++i) {
+    refs.push_back(handle->Ref<BenchCounter>("d" + std::to_string(i)));
+    refs.back().Call(&BenchCounter::Value).Get();  // Activate first.
+  }
+  int64_t rounds = 0;
+  for (auto _ : state) {
+    ++rounds;
+    for (int b = 0; b < kBurstPerActor; ++b) {
+      for (int i = 0; i < actors; ++i) {
+        refs[i].Tell(&BenchCounter::Add, int64_t{1});
+      }
+    }
+    for (int i = 0; i < actors; ++i) {
+      while (refs[i].Call(&BenchCounter::Value).Get().value() <
+             rounds * kBurstPerActor) {
+      }
+    }
+  }
+  state.SetItemsProcessed(rounds * kBurstPerActor * actors);
+  // Scheduler behavior counters (whole-run totals from the silo executor):
+  // how much work migrated between workers and how often workers parked.
+  MetricsSnapshot snap = handle->SnapshotMetrics();
+  state.counters["steals"] =
+      static_cast<double>(snap.gauges.at("executor.steals"));
+  state.counters["parks"] =
+      static_cast<double>(snap.gauges.at("executor.parks"));
+  state.counters["tasks_run"] =
+      static_cast<double>(snap.gauges.at("executor.tasks_run"));
+}
+BENCHMARK(BM_RealModeTellDrain)
+    ->Args({2, 1})
+    ->Args({8, 16})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 /// Discrete-event engine rate: virtual actor messages simulated per real
 /// second (the figure benches' speed limit).

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Scheduling hot-path benchmark snapshot: runs the real-mode micro-runtime
+# benches (throughput, end-to-end drain, call round trip — with the
+# executor's steal/park counters) and the fig6 single-server sweep, then
+# assembles BENCH_runtime.json for before/after comparison across commits.
+#
+# Usage: scripts/bench_compare.sh [output.json]   (default: BENCH_runtime.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_runtime.json}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target micro_runtime fig6_single_server >/dev/null
+
+echo "bench_compare: running micro_runtime (real-mode filter)..."
+build/bench/micro_runtime \
+  --benchmark_filter='RealMode' \
+  --benchmark_min_time=1.0 \
+  --benchmark_format=json >"$tmp/micro.json"
+
+echo "bench_compare: running fig6_single_server (AODB_BENCH_SECONDS=5)..."
+AODB_BENCH_SECONDS=5 build/bench/fig6_single_server >"$tmp/fig6.txt"
+
+python3 - "$tmp/micro.json" "$tmp/fig6.txt" "$out" <<'EOF'
+import json, re, subprocess, sys
+
+micro_path, fig6_path, out_path = sys.argv[1:4]
+
+with open(micro_path) as f:
+    micro_raw = json.load(f)
+
+micro = []
+for b in micro_raw.get("benchmarks", []):
+    entry = {
+        "name": b["name"],
+        "real_time_ns": b.get("real_time"),
+        "cpu_time_ns": b.get("cpu_time"),
+    }
+    if "items_per_second" in b:
+        entry["items_per_second"] = b["items_per_second"]
+    for counter in ("steals", "parks", "tasks_run"):
+        if counter in b:
+            entry[counter] = b[counter]
+    micro.append(entry)
+
+# fig6 table rows: sensors  achieved  stddev  util%  lat_mean  lat_p50  lat_p99
+fig6 = []
+row = re.compile(
+    r"^\s*(\d+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s*$")
+with open(fig6_path) as f:
+    for line in f:
+        m = row.match(line)
+        if m:
+            fig6.append({
+                "sensors": int(m.group(1)),
+                "achieved_rps": float(m.group(2)),
+                "util_pct": float(m.group(4)),
+                "lat_p50_ms": float(m.group(6)),
+                "lat_p99_ms": float(m.group(7)),
+            })
+
+def git(*args):
+    try:
+        return subprocess.check_output(("git",) + args, text=True).strip()
+    except Exception:
+        return ""
+
+snapshot = {
+    "commit": git("rev-parse", "--short", "HEAD"),
+    "date": git("show", "-s", "--format=%cI", "HEAD"),
+    "host_cores": __import__("os").cpu_count(),
+    "micro_runtime": micro,
+    "fig6_single_server": fig6,
+    "fig6_peak_rps": max((r["achieved_rps"] for r in fig6), default=0.0),
+}
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2)
+    f.write("\n")
+print(f"bench_compare: wrote {out_path}")
+EOF

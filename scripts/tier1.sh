@@ -29,9 +29,9 @@ if [[ "$run_asan" == 1 ]]; then
   cmake --build build-asan -j --target \
     fault_injection_test aodb_features_test storage_test \
     real_mode_stress_test wire_registry_test membership_test \
-    telemetry_test
+    telemetry_test scheduler_test
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R 'fault_injection_test|aodb_features_test|storage_test|real_mode_stress_test|wire_registry_test|membership_test|telemetry_test'
+    -R 'fault_injection_test|aodb_features_test|storage_test|real_mode_stress_test|wire_registry_test|membership_test|telemetry_test|scheduler_test'
 else
   echo "tier1: skipping ASan leg (--no-asan)"
 fi
@@ -44,9 +44,9 @@ if [[ "$run_tsan" == 1 ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-tsan -j --target \
     membership_test fault_injection_test real_mode_stress_test \
-    telemetry_test
+    telemetry_test scheduler_test
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R 'membership_test|fault_injection_test|real_mode_stress_test|telemetry_test'
+    -R 'membership_test|fault_injection_test|real_mode_stress_test|telemetry_test|scheduler_test'
 else
   echo "tier1: skipping TSan leg (--no-tsan)"
 fi

@@ -150,8 +150,13 @@ class ActorRef {
               MethodRegistry::Global().Find(method)) {
         env.wire = info;
         env.wire_encode_args = [args_tuple] {
+          // Per-(thread, argument-shape) size hint: repeated calls of the
+          // same method encode into a right-sized buffer, no regrowth.
+          thread_local size_t last_args_size = 0;
           BufWriter w;
+          w.Reserve(last_args_size);
           WireEncodeTuple(&w, *args_tuple);
+          last_args_size = w.size();
           return w.Release();
         };
         env.on_wire_reply = [promise](Result<std::string>&& frame) {
@@ -255,8 +260,11 @@ class ActorRef {
               MethodRegistry::Global().Find(method)) {
         env.wire = info;
         env.wire_encode_args = [args_tuple] {
+          thread_local size_t last_args_size = 0;
           BufWriter w;
+          w.Reserve(last_args_size);
           WireEncodeTuple(&w, *args_tuple);
+          last_args_size = w.size();
           return w.Release();
         };
       }

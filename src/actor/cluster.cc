@@ -356,6 +356,20 @@ MetricsSnapshot Cluster::SnapshotMetrics() const {
   reg.GetGauge("cluster.activations")
       ->Set(static_cast<int64_t>(TotalActivations()));
   reg.GetGauge("cluster.messages_processed")->Set(TotalMessagesProcessed());
+  ExecutorStats ex;
+  for (Executor* e : silo_executors_) {
+    ExecutorStats s = e->Stats();
+    ex.tasks_run += s.tasks_run;
+    ex.busy_us += s.busy_us;
+    ex.steals += s.steals;
+    ex.parks += s.parks;
+    ex.queue_depth += s.queue_depth;
+  }
+  reg.GetGauge("executor.tasks_run")->Set(ex.tasks_run);
+  reg.GetGauge("executor.busy_us")->Set(ex.busy_us);
+  reg.GetGauge("executor.steals")->Set(ex.steals);
+  reg.GetGauge("executor.parks")->Set(ex.parks);
+  reg.GetGauge("executor.queue_depth")->Set(ex.queue_depth);
   return metrics_.Snapshot();
 }
 

@@ -11,12 +11,19 @@
 #include "actor/actor_id.h"
 #include "actor/trace.h"
 #include "common/clock.h"
+#include "common/small_function.h"
 #include "common/status.h"
 
 namespace aodb {
 
 class ActorBase;
 struct WireMethodInfo;
+
+/// The dispatch closure of one message. Sized so the typed-call capture —
+/// member-function pointer, argument tuple, promise, reply routing — stays
+/// inline: the same-silo closure lane then sends a message without a single
+/// std::function heap allocation.
+using EnvelopeFn = SmallFunction<void(ActorBase&), 96>;
 
 /// Default simulated CPU cost of applying one message, when the caller does
 /// not specify one. Calibration notes live in src/actor/cost_model.h.
@@ -46,7 +53,7 @@ struct Envelope {
   /// Silo-local receive time, stamped by Silo::Deliver; the turn's queue
   /// wait is measured against it.
   Micros enqueue_us = 0;
-  std::function<void(ActorBase&)> fn;
+  EnvelopeFn fn;
   /// Invoked instead of `fn` if the message can never be delivered (e.g.
   /// the target type is unregistered or activation failed). Calls created
   /// through ActorRef wire this to the caller's promise.

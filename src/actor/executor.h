@@ -1,6 +1,7 @@
 // Execution abstraction decoupling the actor runtime from its scheduling
 // substrate. Two implementations exist:
-//  * ThreadPoolExecutor (src/actor/thread_pool.h) — real threads, wall clock.
+//  * ThreadPoolExecutor (src/actor/thread_pool.h) — real threads, wall clock,
+//    per-worker run queues with work stealing.
 //  * SimExecutor (src/sim/sim_executor.h) — discrete-event simulation with
 //    virtual CPU workers and virtual time, used by the figure benchmarks.
 
@@ -11,22 +12,37 @@
 #include <functional>
 
 #include "common/clock.h"
+#include "common/small_function.h"
 
 namespace aodb {
+
+/// The callable of one schedulable unit of work. Small-buffer optimized so
+/// the runtime's own task closures (actor turn dispatches, activation
+/// lifecycle steps) never heap-allocate on the hot path.
+using TaskFn = SmallFunction<void(), 64>;
 
 /// A schedulable unit of actor work. `cost_us` is the CPU service time
 /// charged in simulation mode (ignored — i.e., measured for real — in
 /// thread-pool mode).
 struct Task {
-  std::function<void()> fn;
+  TaskFn fn;
   Micros cost_us = 0;
 };
 
 /// Aggregate executor counters, used to report CPU utilization (the paper's
-/// "80% utilization" design point).
+/// "80% utilization" design point) and scheduler health. Real-mode executors
+/// keep these in per-worker shards and merge on read; the simulator fills in
+/// only tasks_run/busy_us (it has no queues to steal from or workers to
+/// park).
 struct ExecutorStats {
   int64_t tasks_run = 0;
   Micros busy_us = 0;
+  /// Tasks a worker took from another worker's run queue.
+  int64_t steals = 0;
+  /// Times a worker parked (went to sleep) for lack of work.
+  int64_t parks = 0;
+  /// Tasks queued but not yet started, at the moment of the snapshot.
+  int64_t queue_depth = 0;
 };
 
 /// A serial-or-parallel task executor with its own clock.
@@ -34,8 +50,13 @@ class Executor {
  public:
   virtual ~Executor() = default;
 
-  /// Schedules a task to run as soon as a worker is free. Tasks posted from
-  /// the same thread are started in post order.
+  /// Schedules a task to run as soon as a worker is free. No relative order
+  /// is guaranteed between distinct tasks (work stealing and per-worker LIFO
+  /// slots may start them out of post order); ordered delivery is the silo
+  /// mailbox's job — per-actor turns are serialized by the activation state
+  /// machine, and a sender's messages to one actor are enqueued in send
+  /// order. SimExecutor, being single-threaded, still starts same-cost tasks
+  /// in post order.
   virtual void Post(Task task) = 0;
 
   /// Schedules `fn` to run `delay_us` from now on this executor's clock.
@@ -56,6 +77,14 @@ class Executor {
   virtual int workers() const = 0;
 
   virtual ExecutorStats Stats() const = 0;
+
+  /// True when this executor measures task cost for real instead of charging
+  /// the declared `Task::cost_us` up front. Only then may the silo drain
+  /// several mailbox envelopes inside one scheduled turn
+  /// (RuntimeOptions::max_turn_batch): under the simulator, batching would
+  /// let every envelope after the first run free of charge and change the
+  /// figure benchmarks' virtual-time results.
+  virtual bool SupportsTurnBatching() const { return false; }
 };
 
 }  // namespace aodb

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/small_function.h"
 #include "common/status.h"
 
 namespace aodb {
@@ -37,15 +38,27 @@ inline std::atomic<int64_t>& DuplicateCompletions() {
   return counter;
 }
 
+/// Continuation callable. Small-buffer sized for the runtime's own reply
+/// handlers so registering the (almost always single) continuation does not
+/// heap-allocate.
+template <typename T>
+using FutureCallback = SmallFunction<void(Result<T>&&), 64>;
+
 template <typename T>
 struct FutureState {
   std::mutex mu;
   std::condition_variable cv;
   std::optional<Result<T>> result;
-  std::vector<std::function<void(Result<T>&&)>> callbacks;
+  /// First continuation inline (the overwhelmingly common case: one
+  /// OnReady per future); later registrations overflow to the vector.
+  FutureCallback<T> first_callback;
+  bool has_first_callback = false;
+  std::vector<FutureCallback<T>> more_callbacks;
 
   void Set(Result<T>&& r) {
-    std::vector<std::function<void(Result<T>&&)>> cbs;
+    FutureCallback<T> first;
+    bool has_first = false;
+    std::vector<FutureCallback<T>> rest;
     {
       std::lock_guard<std::mutex> lock(mu);
       if (result.has_value()) {
@@ -54,10 +67,20 @@ struct FutureState {
         return;
       }
       result.emplace(std::move(r));
-      cbs.swap(callbacks);
+      if (has_first_callback) {
+        first = std::move(first_callback);
+        first_callback = nullptr;
+        has_first_callback = false;
+        has_first = true;
+      }
+      rest.swap(more_callbacks);
       cv.notify_all();
     }
-    for (auto& cb : cbs) {
+    if (has_first) {
+      Result<T> copy = *result;
+      first(std::move(copy));
+    }
+    for (auto& cb : rest) {
       Result<T> copy = *result;
       cb(std::move(copy));
     }
@@ -104,11 +127,16 @@ class Future {
   }
 
   /// Registers a continuation; runs inline immediately if already ready.
-  void OnReady(std::function<void(Result<T>&&)> cb) const {
+  void OnReady(internal::FutureCallback<T> cb) const {
     {
       std::lock_guard<std::mutex> lock(state_->mu);
       if (!state_->result.has_value()) {
-        state_->callbacks.push_back(std::move(cb));
+        if (!state_->has_first_callback) {
+          state_->first_callback = std::move(cb);
+          state_->has_first_callback = true;
+        } else {
+          state_->more_callbacks.push_back(std::move(cb));
+        }
         return;
       }
     }

@@ -112,6 +112,12 @@ struct RuntimeOptions {
   /// promise is completed with Status::Timeout no later than its deadline,
   /// and nested calls inherit the caller's remaining deadline.
   Micros default_call_deadline_us = 0;
+  /// Max envelopes one scheduled turn may drain from an activation's mailbox
+  /// before re-posting (real executor only; the simulator always runs one
+  /// envelope per task because it charges each task's declared cost up
+  /// front). Batching amortizes executor queue round-trips for hot actors;
+  /// the cap bounds how long one actor can monopolize a worker. 1 disables.
+  int max_turn_batch = 16;
   NetworkOptions network;
   WireOptions wire;
   MembershipOptions membership;

@@ -100,13 +100,21 @@ class Silo {
     std::unique_ptr<ActorBase> actor;
     std::deque<Envelope> mailbox;
     ActState state = ActState::kLoading;
-    Micros last_active = 0;
+    /// Last turn-completion time. Atomic (relaxed) so the idle sweeper can
+    /// pre-filter candidates without taking every activation's mu.
+    std::atomic<Micros> last_active{0};
   };
   using ActivationPtr = std::shared_ptr<Activation>;
 
   void BeginActivate(const ActivationPtr& act);
   void PostTurn(const ActivationPtr& act, Micros cost_us);
+  /// One scheduled turn: drains up to turn_batch_ envelopes from the
+  /// activation's mailbox (each via ProcessEnvelope), then either goes idle
+  /// or re-posts.
   void RunTurn(const ActivationPtr& act);
+  /// Applies a single dequeued envelope to the activation: deadline-expiry
+  /// drop, tracing, deadline propagation, profiling, slow-turn logging.
+  void ProcessEnvelope(const ActivationPtr& act, Envelope& env);
   /// Runs OnDeactivate and removes the activation. Precondition: state was
   /// transitioned to kDeactivating by the caller.
   void FinishDeactivation(const ActivationPtr& act,
@@ -116,8 +124,13 @@ class Silo {
   const SiloId id_;
   Cluster* const cluster_;
   Executor* const executor_;
+  /// Envelopes one turn may drain (>= 1; 1 under the simulator — see
+  /// RuntimeOptions::max_turn_batch).
+  const int turn_batch_;
   std::atomic<bool> alive_{true};
   std::atomic<bool> wedged_{false};
+  /// Off the silo lock: bumped once per turn batch, not under mu_.
+  std::atomic<int64_t> messages_processed_{0};
 
   mutable std::mutex mu_;
   /// Envelopes swallowed while wedged; failed en masse by Kill().

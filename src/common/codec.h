@@ -39,6 +39,10 @@ class BufWriter {
     for (const T& e : v) encode_elem(*this, e);
   }
 
+  /// Pre-sizes the buffer (e.g. to the last frame's size on this thread) so
+  /// steady-state encoding appends without reallocating.
+  void Reserve(size_t n) { buf_.reserve(n); }
+
   const std::string& data() const { return buf_; }
   std::string Release() { return std::move(buf_); }
   size_t size() const { return buf_.size(); }

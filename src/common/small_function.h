@@ -1,0 +1,196 @@
+// A std::function replacement with a configurable small-buffer size, used on
+// the scheduling hot path so that per-message callables (actor turn
+// closures, executor tasks, future continuations) do not heap-allocate.
+//
+// std::function's inline buffer is two pointers on the common ABIs, so the
+// typical actor-call closure — a member-function pointer, an argument tuple,
+// a promise, and routing fields — always spills to the heap, one allocation
+// per message. SmallFunction<Sig, InlineBytes> stores callables up to
+// InlineBytes in place and only falls back to the heap beyond that.
+//
+// Semantics match std::function where it matters here: copyable (envelopes
+// are copied for duplicate-delivery fault injection and failover tracking),
+// callable via a const operator(), contextually convertible to bool. Like
+// std::function, stored callables must be copy-constructible.
+
+#ifndef AODB_COMMON_SMALL_FUNCTION_H_
+#define AODB_COMMON_SMALL_FUNCTION_H_
+
+#include <cstddef>
+#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace aodb {
+
+template <typename Sig, size_t InlineBytes = 48>
+class SmallFunction;
+
+template <typename R, typename... Args, size_t InlineBytes>
+class SmallFunction<R(Args...), InlineBytes> {
+  static_assert(InlineBytes >= sizeof(void*),
+                "buffer must at least hold the heap fallback pointer");
+
+ public:
+  SmallFunction() = default;
+  SmallFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, SmallFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    Construct(std::forward<F>(f));
+  }
+
+  SmallFunction(const SmallFunction& other) : ops_(other.ops_) {
+    if (ops_ != nullptr) ops_->copy(other.buf_, buf_);
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  SmallFunction& operator=(const SmallFunction& other) {
+    if (this != &other) {
+      Reset();
+      if (other.ops_ != nullptr) {
+        other.ops_->copy(other.buf_, buf_);
+        ops_ = other.ops_;
+      }
+    }
+    return *this;
+  }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      if (other.ops_ != nullptr) {
+        other.ops_->relocate(other.buf_, buf_);
+        ops_ = other.ops_;
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallFunction& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, SmallFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFunction& operator=(F&& f) {
+    Reset();
+    Construct(std::forward<F>(f));
+    return *this;
+  }
+
+  ~SmallFunction() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  /// Manual vtable: one static instance per stored callable type.
+  struct Ops {
+    R (*invoke)(const void* storage, Args&&... args);
+    void (*copy)(const void* src_storage, void* dst_storage);
+    /// Move-constructs into dst and destroys src.
+    void (*relocate)(void* src_storage, void* dst_storage);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename F>
+  static constexpr bool StoredInline() {
+    return sizeof(F) <= InlineBytes &&
+           alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+  template <typename F>
+  struct InlineOps {
+    static F* Get(const void* storage) {
+      return static_cast<F*>(const_cast<void*>(storage));
+    }
+    static R Invoke(const void* storage, Args&&... args) {
+      return std::invoke(*Get(storage), std::forward<Args>(args)...);
+    }
+    static void Copy(const void* src, void* dst) { new (dst) F(*Get(src)); }
+    static void Relocate(void* src, void* dst) {
+      F* f = Get(src);
+      new (dst) F(std::move(*f));
+      f->~F();
+    }
+    static void Destroy(void* storage) { Get(storage)->~F(); }
+    static constexpr Ops kOps = {&Invoke, &Copy, &Relocate, &Destroy};
+  };
+
+  template <typename F>
+  struct HeapOps {
+    static F* Get(const void* storage) {
+      return *static_cast<F* const*>(storage);
+    }
+    static R Invoke(const void* storage, Args&&... args) {
+      return std::invoke(*Get(storage), std::forward<Args>(args)...);
+    }
+    static void Copy(const void* src, void* dst) {
+      *static_cast<F**>(dst) = new F(*Get(src));
+    }
+    static void Relocate(void* src, void* dst) {
+      *static_cast<F**>(dst) = *static_cast<F**>(src);
+    }
+    static void Destroy(void* storage) { delete Get(storage); }
+    static constexpr Ops kOps = {&Invoke, &Copy, &Relocate, &Destroy};
+  };
+
+  template <typename F>
+  void Construct(F&& f) {
+    using D = std::decay_t<F>;
+    static_assert(std::is_copy_constructible_v<D>,
+                  "SmallFunction requires copy-constructible callables "
+                  "(like std::function)");
+    if constexpr (StoredInline<D>()) {
+      new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &InlineOps<D>::kOps;
+    } else {
+      *reinterpret_cast<D**>(buf_) = new D(std::forward<F>(f));
+      ops_ = &HeapOps<D>::kOps;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) mutable unsigned char buf_[InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+template <typename Sig, size_t N>
+bool operator==(const SmallFunction<Sig, N>& f, std::nullptr_t) {
+  return !f;
+}
+template <typename Sig, size_t N>
+bool operator!=(const SmallFunction<Sig, N>& f, std::nullptr_t) {
+  return static_cast<bool>(f);
+}
+
+}  // namespace aodb
+
+#endif  // AODB_COMMON_SMALL_FUNCTION_H_

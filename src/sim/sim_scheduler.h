@@ -12,6 +12,7 @@
 #include <queue>
 #include <vector>
 
+#include "actor/executor.h"
 #include "common/clock.h"
 
 namespace aodb {
@@ -25,14 +26,16 @@ class SimScheduler {
   Micros Now() const { return clock_.Now(); }
   ManualClock* clock() { return &clock_; }
 
-  /// Schedules `fn` at absolute virtual time `t` (clamped to now).
-  void At(Micros t, std::function<void()> fn) {
+  /// Schedules `fn` at absolute virtual time `t` (clamped to now). Takes the
+  /// executor's small-buffer TaskFn so posting a Task into the simulator
+  /// moves the callable instead of re-wrapping it in a std::function.
+  void At(Micros t, TaskFn fn) {
     if (t < Now()) t = Now();
     events_.push(Event{t, seq_++, std::move(fn)});
   }
 
   /// Schedules `fn` `delay` microseconds from now.
-  void After(Micros delay, std::function<void()> fn) {
+  void After(Micros delay, TaskFn fn) {
     At(Now() + (delay < 0 ? 0 : delay), std::move(fn));
   }
 
@@ -73,7 +76,7 @@ class SimScheduler {
   struct Event {
     Micros time;
     uint64_t seq;
-    std::function<void()> fn;
+    TaskFn fn;
     bool operator>(const Event& other) const {
       return time != other.time ? time > other.time : seq > other.seq;
     }
