@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Scheduling hot-path benchmark snapshot: runs the real-mode micro-runtime
 # benches (throughput, end-to-end drain, call round trip — with the
-# executor's steal/park counters) and the fig6 single-server sweep, then
-# assembles BENCH_runtime.json for before/after comparison across commits.
+# executor's steal/park counters), the fig6 single-server sweep, and the
+# flash-crowd overload bench (skewed load vs bounded mailboxes + hot-actor
+# migration), then assembles BENCH_runtime.json for before/after comparison
+# across commits.
 #
 # Usage: scripts/bench_compare.sh [output.json]   (default: BENCH_runtime.json)
 set -euo pipefail
@@ -13,7 +15,8 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
 cmake -B build -S . >/dev/null
-cmake --build build -j --target micro_runtime fig6_single_server >/dev/null
+cmake --build build -j --target micro_runtime fig6_single_server \
+  flash_crowd >/dev/null
 
 echo "bench_compare: running micro_runtime (real-mode filter)..."
 build/bench/micro_runtime \
@@ -24,10 +27,14 @@ build/bench/micro_runtime \
 echo "bench_compare: running fig6_single_server (AODB_BENCH_SECONDS=5)..."
 AODB_BENCH_SECONDS=5 build/bench/fig6_single_server >"$tmp/fig6.txt"
 
-python3 - "$tmp/micro.json" "$tmp/fig6.txt" "$out" <<'EOF'
+echo "bench_compare: running flash_crowd (AODB_BENCH_SECONDS=5)..."
+AODB_BENCH_SECONDS=5 build/bench/flash_crowd \
+  --metrics-json="$tmp/flash_metrics.json" >"$tmp/flash.txt"
+
+python3 - "$tmp/micro.json" "$tmp/fig6.txt" "$tmp/flash.txt" "$out" <<'EOF'
 import json, re, subprocess, sys
 
-micro_path, fig6_path, out_path = sys.argv[1:4]
+micro_path, fig6_path, flash_path, out_path = sys.argv[1:5]
 
 with open(micro_path) as f:
     micro_raw = json.load(f)
@@ -62,6 +69,37 @@ with open(fig6_path) as f:
                 "lat_p99_ms": float(m.group(7)),
             })
 
+# flash_crowd table rows: phase  offered acked failed retries p50 p99
+#                          migr mbox_rej shed conserved
+flash = []
+flash_row = re.compile(
+    r"^\s*(uniform, managed|skewed, unmanaged|skewed, managed)\s+"
+    r"(\d+)\s+(\d+)\s+(\d+)\s+(\d+)\s+([\d.]+)\s+([\d.]+)\s+"
+    r"(\d+)\s+(\d+)\s+(\d+)\s+(yes|NO)\s*$")
+with open(flash_path) as f:
+    for line in f:
+        m = flash_row.match(line)
+        if m:
+            flash.append({
+                "phase": m.group(1),
+                "offered": int(m.group(2)),
+                "acked": int(m.group(3)),
+                "failed": int(m.group(4)),
+                "retries": int(m.group(5)),
+                "lat_p50_ms": float(m.group(6)),
+                "lat_p99_ms": float(m.group(7)),
+                "migrations": int(m.group(8)),
+                "mailbox_rejects": int(m.group(9)),
+                "shed": int(m.group(10)),
+                "conserved": m.group(11) == "yes",
+            })
+
+def flash_p99(phase):
+    for r in flash:
+        if r["phase"] == phase:
+            return r["lat_p99_ms"]
+    return 0.0
+
 def git(*args):
     try:
         return subprocess.check_output(("git",) + args, text=True).strip()
@@ -75,6 +113,12 @@ snapshot = {
     "micro_runtime": micro,
     "fig6_single_server": fig6,
     "fig6_peak_rps": max((r["achieved_rps"] for r in fig6), default=0.0),
+    "flash_crowd": flash,
+    # The overload acceptance ratio: skewed-managed p99 over the uniform
+    # baseline p99 (target: <= 2.0).
+    "flash_crowd_p99_ratio": (
+        round(flash_p99("skewed, managed") / flash_p99("uniform, managed"), 3)
+        if flash_p99("uniform, managed") > 0 else 0.0),
 }
 with open(out_path, "w") as f:
     json.dump(snapshot, f, indent=2)

@@ -5,9 +5,47 @@
 # fault tests. Mirrors ROADMAP.md's tier-1 command and adds the sanitizer
 # legs.
 #
+# Each leg's test list is declared ONCE below and drives both the build
+# targets and the ctest selection, so a list entry cannot silently rot: a
+# listed binary that the build did not produce fails the leg.
+#
 # Usage: scripts/tier1.sh [--no-asan] [--no-tsan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Sanitized leg: the tests that exercise cross-thread and fault paths.
+ASAN_TESTS=(
+  fault_injection_test aodb_features_test storage_test
+  real_mode_stress_test wire_registry_test membership_test
+  telemetry_test scheduler_test overload_test
+)
+# TSan leg: data races in the membership agents, eviction/failover paths,
+# real-mode thread pools, the concurrent telemetry recorders, and the
+# overload/migration machinery (ASan and TSan cannot share a build).
+TSAN_TESTS=(
+  membership_test fault_injection_test real_mode_stress_test
+  telemetry_test scheduler_test overload_test
+)
+
+# Joins a test list into the anchored regex ctest -R expects.
+ctest_regex() {
+  local IFS='|'
+  echo "$*"
+}
+
+# Fails the leg when a listed binary is missing from the build tree — the
+# guard against a test being dropped from a leg without anyone noticing.
+require_binaries() {
+  local dir="$1"; shift
+  local missing=0
+  for t in "$@"; do
+    if [[ ! -x "$dir/tests/$t" ]]; then
+      echo "tier1: ERROR: expected test binary $dir/tests/$t is missing" >&2
+      missing=1
+    fi
+  done
+  return "$missing"
+}
 
 run_asan=1
 run_tsan=1
@@ -23,30 +61,23 @@ cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 if [[ "$run_asan" == 1 ]]; then
-  # Sanitized leg: the tests that exercise cross-thread and fault paths.
   cmake -B build-asan -S . -DAODB_SANITIZE=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-  cmake --build build-asan -j --target \
-    fault_injection_test aodb_features_test storage_test \
-    real_mode_stress_test wire_registry_test membership_test \
-    telemetry_test scheduler_test
+  cmake --build build-asan -j --target "${ASAN_TESTS[@]}"
+  require_binaries build-asan "${ASAN_TESTS[@]}"
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R 'fault_injection_test|aodb_features_test|storage_test|real_mode_stress_test|wire_registry_test|membership_test|telemetry_test|scheduler_test'
+    -R "$(ctest_regex "${ASAN_TESTS[@]}")"
 else
   echo "tier1: skipping ASan leg (--no-asan)"
 fi
 
 if [[ "$run_tsan" == 1 ]]; then
-  # TSan leg: data races in the membership agents, eviction/failover
-  # paths, real-mode thread pools, and the concurrent telemetry recorders
-  # (ASan and TSan cannot share a build).
   cmake -B build-tsan -S . -DAODB_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-  cmake --build build-tsan -j --target \
-    membership_test fault_injection_test real_mode_stress_test \
-    telemetry_test scheduler_test
+  cmake --build build-tsan -j --target "${TSAN_TESTS[@]}"
+  require_binaries build-tsan "${TSAN_TESTS[@]}"
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R 'membership_test|fault_injection_test|real_mode_stress_test|telemetry_test|scheduler_test'
+    -R "$(ctest_regex "${TSAN_TESTS[@]}")"
 else
   echo "tier1: skipping TSan leg (--no-tsan)"
 fi

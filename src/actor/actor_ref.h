@@ -37,6 +37,10 @@ struct CallOptions {
   /// deadline is guaranteed to complete by it — with Status::Timeout if no
   /// real result arrived first.
   Micros timeout_us = 0;
+  /// Shed class under overload: which watermark may reject this message
+  /// with Status::Overloaded (see MessagePriority). Telemetry ingest marks
+  /// itself kTelemetry; workflow/2PC traffic kControl.
+  MessagePriority priority = MessagePriority::kQuery;
 };
 
 /// A typed handle to a virtual actor of type TActor. Cheap to copy. The
@@ -88,6 +92,7 @@ class ActorRef {
     env.principal = principal_;
     env.cost_us = opts.cost_us;
     env.approx_bytes = opts.request_bytes;
+    env.priority = opts.priority;
     SiloId caller = caller_silo_;
     Cluster* cluster = cluster_;
     int64_t response_bytes = opts.response_bytes;
@@ -221,6 +226,7 @@ class ActorRef {
     env.principal = principal_;
     env.cost_us = opts.cost_us;
     env.approx_bytes = opts.request_bytes;
+    env.priority = opts.priority;
     auto args_tuple =
         std::make_shared<std::tuple<std::decay_t<MArgs>...>>(
             std::forward<Args>(args)...);

@@ -34,6 +34,10 @@ Cluster::Cluster(const RuntimeOptions& options,
   failover_failed_ = metrics_.GetCounter("cluster.failover_failed");
   deadline_timeouts_ = metrics_.GetCounter("cluster.deadline_timeouts");
   no_live_silo_rejects_ = metrics_.GetCounter("cluster.no_live_silo_rejects");
+  overload_shed_telemetry_ = metrics_.GetCounter("overload.shed.telemetry");
+  overload_shed_query_ = metrics_.GetCounter("overload.shed.query");
+  overload_mailbox_rejects_ = metrics_.GetCounter("overload.mailbox_rejects");
+  overload_migrations_ = metrics_.GetCounter("overload.migrations");
   local_closure_sends_ = metrics_.GetCounter("wire.local_closure_sends");
   wire_requests_ = metrics_.GetCounter("wire.requests");
   wire_request_bytes_ = metrics_.GetCounter("wire.request_bytes");
@@ -62,6 +66,33 @@ void Cluster::RegisterActorType(const std::string& type, Factory factory) {
 
 void Cluster::SetTypePlacement(const std::string& type, Placement placement) {
   directory_.SetTypePlacement(type, placement);
+}
+
+void Cluster::SetTypeMailboxDepth(const std::string& type, int depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (depth <= 0) {
+    type_mailbox_depth_.erase(type);
+  } else {
+    type_mailbox_depth_[type] = depth;
+  }
+}
+
+int Cluster::MailboxLimitFor(const std::string& type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = type_mailbox_depth_.find(type);
+  return it != type_mailbox_depth_.end() ? it->second
+                                         : options_.overload.max_mailbox_depth;
+}
+
+Gauge* Cluster::MailboxDepthGauge(const std::string& type) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mailbox_gauge_mu_);
+    auto it = mailbox_gauges_.find(type);
+    if (it != mailbox_gauges_.end()) return it->second;
+  }
+  Gauge* gauge = metrics_.GetGauge("mailbox.depth." + type);
+  std::unique_lock<std::shared_mutex> lock(mailbox_gauge_mu_);
+  return mailbox_gauges_.emplace(type, gauge).first->second;
 }
 
 void Cluster::RegisterStateStorage(const std::string& name,
@@ -202,6 +233,7 @@ void Cluster::SendWire(Envelope env, SiloId from, SiloId target,
   req.method_id = env.wire->id;
   req.cost_us = env.cost_us;
   req.deadline_us = env.deadline_us;
+  req.priority = static_cast<uint8_t>(env.priority);
   req.trace_id = env.trace.trace_id;
   req.parent_span_id = env.trace.span_id;
   req.trace_sampled = env.trace.sampled;
@@ -269,6 +301,7 @@ void Cluster::DeliverWireFrame(SiloId target, SiloId caller_silo,
   env.principal = req->principal;
   env.cost_us = req->cost_us + options_.network.serialization_cost_us;
   env.deadline_us = req->deadline_us;
+  env.priority = static_cast<MessagePriority>(req->priority);
   env.trace.trace_id = req->trace_id;
   env.trace.span_id = req->parent_span_id;
   env.trace.sampled = req->trace_sampled;
@@ -545,6 +578,120 @@ void Cluster::StartIdleScanner() {
   }
 }
 
+void Cluster::StartOverloadController() {
+  if (!options_.overload.enable_hot_migration) return;
+  auto alive = std::make_shared<bool>(true);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (overload_alive_) *overload_alive_ = false;
+    overload_alive_ = alive;
+  }
+  // The controller ticks on the client-node executor (it is cluster-wide,
+  // not per-silo) with the same weak-self periodic-loop shape as reminders.
+  Executor* exec = client_executor_;
+  Micros interval = options_.overload.scan_interval_us;
+  Cluster* self = this;
+  auto tick = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak_tick = tick;
+  *tick = [self, exec, interval, alive, weak_tick]() {
+    if (!*alive) return;
+    self->RebalanceHotActors();
+    if (auto next = weak_tick.lock()) {
+      exec->PostAfter(interval, [next] { (*next)(); });
+    }
+  };
+  exec->PostAfter(interval, [tick] { (*tick)(); });
+}
+
+void Cluster::RebalanceHotActors() {
+  // Instantaneous queued counts are noisy — one arrival burst can make the
+  // steady-state-coolest silo sample as the hottest for a single scan — so
+  // the hottest/coolest decision runs on an EWMA across scans instead of the
+  // raw sample.
+  const Micros now = client_executor_->clock()->Now();
+  const Micros cooldown = options_.overload.migration_cooldown_us;
+  if (overload_ewma_.size() != silos_.size()) {
+    overload_ewma_.assign(silos_.size(), 0.0);
+  }
+  SiloId hottest = kNoSilo;
+  SiloId coolest = kNoSilo;
+  double max_load = -1.0;
+  double min_load = 0.0;
+  for (int i = 0; i < num_silos(); ++i) {
+    if (!silos_[i]->alive()) continue;
+    auto queued = static_cast<double>(silos_[i]->QueuedEnvelopes());
+    double load = 0.5 * overload_ewma_[i] + 0.5 * queued;
+    overload_ewma_[i] = load;
+    if (load > max_load) {
+      max_load = load;
+      hottest = static_cast<SiloId>(i);
+    }
+    // A silo that just received a migration still samples as cool (the
+    // moved actor's traffic has not reached it yet); excluding it as a
+    // destination for the cooldown keeps the controller from piling
+    // several hot actors onto one silo and ping-ponging them afterwards.
+    auto dest_it = overload_dest_cooldown_.find(i);
+    if (dest_it != overload_dest_cooldown_.end() &&
+        now - dest_it->second < cooldown) {
+      continue;
+    }
+    if (coolest == kNoSilo || load < min_load) {
+      min_load = load;
+      coolest = static_cast<SiloId>(i);
+    }
+  }
+  if (hottest == kNoSilo || coolest == kNoSilo || hottest == coolest) return;
+  if (max_load - min_load <
+      static_cast<double>(options_.overload.min_load_delta)) {
+    return;
+  }
+  auto hot =
+      silos_[hottest]->HottestActivation(options_.overload.hot_actor_min_depth);
+  if (!hot) return;
+  // The same actor cannot be moved twice in quick succession: every move
+  // pauses the actor and reroutes its mail, so re-migrating on residual
+  // backlog turns the controller itself into an overload source.
+  const std::string key = hot->id.ToString();
+  auto moved_it = overload_actor_cooldown_.find(key);
+  if (moved_it != overload_actor_cooldown_.end() &&
+      now - moved_it->second < cooldown) {
+    return;
+  }
+  if (silos_[hottest]->RequestMigration(hot->id, coolest)) {
+    overload_actor_cooldown_[key] = now;
+    overload_dest_cooldown_[coolest] = now;
+    AODB_LOG(Info,
+             "overload controller migrating hot actor %s: silo %d (%.0f "
+             "load) -> silo %d (%.0f load), mailbox depth %lld",
+             key.c_str(), static_cast<int>(hottest), max_load,
+             static_cast<int>(coolest), min_load,
+             static_cast<long long>(hot->depth));
+    // Drop expired cooldown entries so the maps stay proportional to the
+    // set of recently moved actors, not every actor ever moved.
+    for (auto it = overload_actor_cooldown_.begin();
+         it != overload_actor_cooldown_.end();) {
+      if (now - it->second >= cooldown) {
+        it = overload_actor_cooldown_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+Status Cluster::MigrateActivation(const ActorId& id, SiloId to) {
+  if (to < 0 || to >= num_silos() || !silos_[to]->alive()) {
+    return Status::InvalidArgument("migration target silo is not live");
+  }
+  std::optional<SiloId> hosted = directory_.Lookup(id);
+  if (!hosted) return Status::NotFound("actor has no activation");
+  if (*hosted == to) return Status::OK();
+  if (!silos_[*hosted]->RequestMigration(id, to)) {
+    return Status::Aborted("activation is loading or already deactivating");
+  }
+  return Status::OK();
+}
+
 Future<Status> Cluster::DeactivateAll() {
   std::vector<Future<Status>> futures;
   futures.reserve(silos_.size());
@@ -692,6 +839,7 @@ void Cluster::Stop() {
     if (stopped_) return;
     stopped_ = true;
     if (scanner_alive_) *scanner_alive_ = false;
+    if (overload_alive_) *overload_alive_ = false;
     for (auto& [key, entry] : reminders_) {
       if (entry.alive) *entry.alive = false;
     }

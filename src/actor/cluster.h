@@ -110,6 +110,11 @@ class Cluster {
   /// channels and aggregators, as in the paper's deployment).
   void SetTypePlacement(const std::string& type, Placement placement);
 
+  /// Overrides the bounded-mailbox depth for one actor type (0 restores
+  /// OverloadOptions::max_mailbox_depth). Takes effect for activations
+  /// created afterwards — the limit is resolved once at activation time.
+  void SetTypeMailboxDepth(const std::string& type, int depth);
+
   /// Registers a named grain-state storage provider.
   void RegisterStateStorage(const std::string& name,
                             std::shared_ptr<StateStorage> storage);
@@ -156,6 +161,18 @@ class Cluster {
   /// options.lifecycle.enable_idle_deactivation).
   void StartIdleScanner();
 
+  /// Starts the hot-actor controller (no-op unless
+  /// options.overload.enable_hot_migration): a periodic scan that compares
+  /// per-silo queued-envelope totals and live-migrates the deepest eligible
+  /// activation of the most loaded silo to the least loaded one.
+  void StartOverloadController();
+
+  /// Live-migrates one activation to silo `to` (the deterministic handle
+  /// tests drive instead of waiting for the controller). NotFound when the
+  /// actor has no activation; Aborted when it is loading or already
+  /// deactivating. OK also covers "already there".
+  Status MigrateActivation(const ActorId& id, SiloId to);
+
   /// Deactivates all idle actors on all silos, flushing persistent state.
   Future<Status> DeactivateAll();
 
@@ -194,6 +211,23 @@ class Cluster {
   /// Counts one deadline enforcement event (called by the silo when it
   /// drops an expired envelope and by the caller-side watchdog).
   void NoteDeadlineExpired() { deadline_timeouts_->Add(); }
+  /// Counts one load-shed rejection by priority class ("overload.shed.*").
+  void NoteShed(MessagePriority priority) {
+    (priority == MessagePriority::kTelemetry ? overload_shed_telemetry_
+                                             : overload_shed_query_)
+        ->Add();
+  }
+  /// Counts one bounded-mailbox rejection ("overload.mailbox_rejects").
+  void NoteMailboxReject() { overload_mailbox_rejects_->Add(); }
+  /// Counts one completed hot-actor migration ("overload.migrations").
+  void NoteMigration() { overload_migrations_->Add(); }
+  /// Effective mailbox cap for an actor type: the per-type override, else
+  /// OverloadOptions::max_mailbox_depth (0 = unbounded). Resolved once per
+  /// activation by the hosting silo.
+  int MailboxLimitFor(const std::string& type) const;
+  /// The cluster-wide "mailbox.depth.<type>" gauge, cached per type so the
+  /// silo resolves it once per activation.
+  Gauge* MailboxDepthGauge(const std::string& type);
   /// Counts envelopes dropped with nobody to notify (see
   /// ClusterCounters::dead_letters).
   void NoteDeadLetters(int64_t n) {
@@ -300,6 +334,10 @@ class Cluster {
   /// re-submission for the caller's promise.
   void FailoverPendingCalls(SiloId dead);
 
+  /// One controller scan: compare per-silo queued totals and migrate the
+  /// hottest eligible activation when the imbalance justifies it.
+  void RebalanceHotActors();
+
   /// Remote send on the wire lane: encodes the request frame, charges the
   /// network model the measured byte count, and schedules decode + dispatch
   /// on the target silo.
@@ -349,6 +387,12 @@ class Cluster {
   Counter* deadline_timeouts_;
   Counter* no_live_silo_rejects_;
 
+  // Overload-management counters ("overload.*" series).
+  Counter* overload_shed_telemetry_;
+  Counter* overload_shed_query_;
+  Counter* overload_mailbox_rejects_;
+  Counter* overload_migrations_;
+
   Counter* local_closure_sends_;
   Counter* wire_requests_;
   Counter* wire_request_bytes_;
@@ -365,11 +409,24 @@ class Cluster {
   mutable std::shared_mutex turn_profile_mu_;
   std::unordered_map<std::string, TurnProfile> turn_profiles_;
 
+  /// Per-actor-type mailbox-depth gauges (see MailboxDepthGauge).
+  mutable std::shared_mutex mailbox_gauge_mu_;
+  std::unordered_map<std::string, Gauge*> mailbox_gauges_;
+
   mutable std::mutex mu_;
   std::unordered_map<std::string, Factory> factories_;
   std::unordered_map<std::string, std::shared_ptr<StateStorage>> storages_;
+  std::unordered_map<std::string, int> type_mailbox_depth_;
   std::unordered_map<std::string, ReminderEntry> reminders_;
   std::shared_ptr<bool> scanner_alive_;
+  std::shared_ptr<bool> overload_alive_;
+  /// Overload-controller private state, touched ONLY from RebalanceHotActors
+  /// (ticks are serialized on the client executor, so no lock): smoothed
+  /// per-silo queued-envelope loads plus the cooldown bookkeeping for
+  /// recently migrated actors and recently targeted destination silos.
+  std::vector<double> overload_ewma_;
+  std::unordered_map<std::string, Micros> overload_actor_cooldown_;
+  std::unordered_map<int, Micros> overload_dest_cooldown_;
   bool stopped_ = false;
 };
 

@@ -40,6 +40,15 @@ bool Directory::Remove(const ActorId& id, SiloId expected) {
   return true;
 }
 
+bool Directory::Move(const ActorId& id, SiloId from, SiloId to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (to < 0 || to >= num_silos_ || live_[to] == 0) return false;
+  auto it = entries_.find(id);
+  if (it == entries_.end() || it->second != from) return false;
+  it->second = to;
+  return true;
+}
+
 void Directory::SetSiloLive(SiloId silo, bool live) {
   std::lock_guard<std::mutex> lock(mu_);
   if (silo >= 0 && silo < num_silos_) {

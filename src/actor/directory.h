@@ -39,6 +39,13 @@ class Directory {
   /// Returns true if removed.
   bool Remove(const ActorId& id, SiloId expected);
 
+  /// Re-points the entry at `to` if it currently maps to `from` and `to` is
+  /// live (hot-actor migration: the actor keeps its registration across the
+  /// move, so in-flight re-routes land on the new silo instead of
+  /// re-placing). Returns false — and changes nothing — on a stale `from`
+  /// or a dead target; the caller falls back to Remove + fresh placement.
+  bool Move(const ActorId& id, SiloId from, SiloId to);
+
   /// Marks a silo as live (placement candidate) or dead. New placements
   /// only consider live silos; entries pointing at dead silos are purged by
   /// PurgeSilo and treated as stale by the cluster.

@@ -29,6 +29,17 @@ using EnvelopeFn = SmallFunction<void(ActorBase&), 96>;
 /// not specify one. Calibration notes live in src/actor/cost_model.h.
 constexpr Micros kDefaultMessageCostUs = 50;
 
+/// Shed class of a message under overload. When a silo's queued-envelope
+/// total passes the shed watermark (OverloadOptions), lower classes are
+/// rejected with Status::Overloaded first — telemetry inserts before
+/// queries, and control traffic (workflow / 2PC steps, lifecycle) never:
+/// graceful degradation sacrifices the most replaceable data first.
+enum class MessagePriority : uint8_t {
+  kTelemetry = 0,  ///< High-volume ingest (sensor inserts); shed first.
+  kQuery = 1,      ///< Interactive reads; shed only past the hard watermark.
+  kControl = 2,    ///< Workflow/2PC/lifecycle traffic; never shed.
+};
+
 /// A message in flight. `fn` runs on the target activation with exclusive
 /// access to the actor (turn-based concurrency).
 struct Envelope {
@@ -44,6 +55,8 @@ struct Envelope {
   /// Times this call has been re-submitted by in-flight failover after a
   /// silo eviction (bounded by MembershipOptions::failover.max_retries).
   int failover_attempts = 0;
+  /// Shed class under overload (see MessagePriority).
+  MessagePriority priority = MessagePriority::kQuery;
   /// Approximate serialized size, charged by the network model for
   /// cross-silo sends.
   int64_t approx_bytes = 128;

@@ -90,6 +90,46 @@ struct TraceOptions {
   int ring_capacity = 4096;
 };
 
+/// Adaptive overload management: bounded mailboxes with caller-visible
+/// backpressure, silo-level priority shedding, and hot-activation migration.
+/// Everything off by default — the seed benchmarks accept unbounded work.
+struct OverloadOptions {
+  /// Per-activation mailbox cap (0 = unbounded). A delivery that would
+  /// exceed it is rejected with Status::Overloaded instead of queued; the
+  /// sender's retry policy treats that as retryable-with-backoff (see
+  /// IsTransient). Override per actor type with
+  /// Cluster::SetTypeMailboxDepth.
+  int max_mailbox_depth = 0;
+  /// Silo-level shed watermark over the TOTAL queued envelopes on a silo
+  /// (0 = shedding off). At or past it, kTelemetry messages are rejected
+  /// with Status::Overloaded; kQuery messages are rejected past
+  /// shed_hard_watermark (defaults to 2x the watermark when 0). kControl
+  /// traffic is never shed.
+  int64_t shed_watermark = 0;
+  int64_t shed_hard_watermark = 0;
+  /// Master switch of the hot-activation migration controller: a periodic
+  /// sampler that flags the hottest activation of the most loaded silo (by
+  /// queued-envelope counts) and live-migrates it to the least loaded silo
+  /// (deactivate → directory move → reactivate from persisted state).
+  bool enable_hot_migration = false;
+  /// Controller sampling period.
+  Micros scan_interval_us = kMicrosPerSecond;
+  /// An activation is migration-eligible only with at least this many
+  /// queued envelopes at sampling time (filters out merely-busy actors).
+  int hot_actor_min_depth = 16;
+  /// The source silo must have at least this many more queued envelopes
+  /// than the destination, or the move is not worth the reactivation cost.
+  int64_t min_load_delta = 32;
+  /// Anti-churn guard: after a migration, the moved actor cannot be picked
+  /// again and the destination silo cannot receive another migration until
+  /// this much time passes. Queued-envelope counts lag a move (a silo that
+  /// just received a hot actor still samples as cool), so without the
+  /// cooldown the controller re-co-locates hot actors and ping-pongs them
+  /// between silos — each move pauses the actor, making churn itself an
+  /// overload source.
+  Micros migration_cooldown_us = 2 * kMicrosPerSecond;
+};
+
 /// Activation lifecycle management (idle deactivation scanner).
 struct LifecycleOptions {
   /// When true, silos periodically deactivate idle actors (persisting their
@@ -122,6 +162,7 @@ struct RuntimeOptions {
   WireOptions wire;
   MembershipOptions membership;
   LifecycleOptions lifecycle;
+  OverloadOptions overload;
   TraceOptions trace;
   /// Turns whose measured execution time exceeds this are logged at WARN
   /// with their actor, duration, and trace id (0 = never). Only meaningful

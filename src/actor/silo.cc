@@ -25,7 +25,12 @@ Silo::Silo(SiloId id, Cluster* cluster, Executor* executor)
       // task must stay one envelope there or virtual-time results change.
       turn_batch_(executor->SupportsTurnBatching()
                       ? std::max(1, cluster->options().max_turn_batch)
-                      : 1) {}
+                      : 1),
+      shed_watermark_(cluster->options().overload.shed_watermark),
+      shed_hard_watermark_(
+          cluster->options().overload.shed_hard_watermark > 0
+              ? cluster->options().overload.shed_hard_watermark
+              : 2 * cluster->options().overload.shed_watermark) {}
 
 void Silo::Deliver(Envelope env) {
   if (!alive()) {
@@ -43,22 +48,70 @@ void Silo::Deliver(Envelope env) {
     wedge_backlog_.push_back(std::move(env));
     return;
   }
+  if (shed_watermark_ > 0 && env.priority != MessagePriority::kControl) {
+    // Silo-wide load shedding, lowest priority class first: telemetry
+    // ingest at the soft watermark, interactive queries only past the hard
+    // one, control traffic (workflows, 2PC, lifecycle) never. The sender
+    // sees Overloaded — retryable with backoff, no failover re-placement.
+    int64_t queued = queued_.load(std::memory_order_relaxed);
+    int64_t mark = env.priority == MessagePriority::kTelemetry
+                       ? shed_watermark_
+                       : shed_hard_watermark_;
+    if (queued >= mark) {
+      cluster_->NoteShed(env.priority);
+      if (env.trace.sampled) {
+        AODB_LOG(Warn,
+                 "silo %d shedding %s send to %s (%lld queued, trace %llu)",
+                 static_cast<int>(id_),
+                 env.priority == MessagePriority::kTelemetry ? "telemetry"
+                                                             : "query",
+                 env.target.ToString().c_str(),
+                 static_cast<long long>(queued),
+                 static_cast<unsigned long long>(env.trace.trace_id));
+      }
+      if (env.fail) {
+        env.fail(Status::Overloaded("silo " + std::to_string(id_) +
+                                    " shedding load"));
+      }
+      return;
+    }
+  }
   ActivationPtr act;
   bool is_new = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = catalog_.find(env.target);
-    if (it == catalog_.end()) {
-      act = std::make_shared<Activation>(env.target);
-      catalog_.emplace(env.target, act);
+    if (it != catalog_.end()) act = it->second;
+  }
+  if (!act) {
+    // No activation here: only create one if the directory still says this
+    // silo owns the actor. Mail can arrive after a migration or idle
+    // deactivation already erased the activation (it was routed before the
+    // directory moved); resurrecting a second activation here would
+    // split-brain the actor's state, so stale mail re-routes instead.
+    auto owner = cluster_->directory().Lookup(env.target);
+    if (!owner.has_value() || owner.value() != id_) {
+      Reroute(std::move(env));
+      return;
+    }
+    // Resolve the mailbox cap and per-type depth gauge outside mu_ (both
+    // take cluster/registry locks); the emplace re-checks for a racing
+    // creator.
+    auto fresh = std::make_shared<Activation>(env.target);
+    fresh->mailbox_limit = cluster_->MailboxLimitFor(env.target.type);
+    fresh->depth_gauge = cluster_->MailboxDepthGauge(env.target.type);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = catalog_.emplace(env.target, fresh);
+    act = it->second;
+    if (inserted) {
       ++stats_.activations_created;
       is_new = true;
-    } else {
-      act = it->second;
     }
   }
   bool schedule = false;
   bool reroute = false;
+  bool mailbox_full = false;
+  int64_t depth = 0;
   Micros cost = 0;
   {
     std::lock_guard<std::mutex> lock(act->mu);
@@ -67,22 +120,49 @@ void Silo::Deliver(Envelope env) {
         reroute = true;
         break;
       case ActState::kDeactivating:
-        // Queued; re-routed when the deactivation completes.
-        act->mailbox.push_back(std::move(env));
-        break;
+        // Queued; re-routed when the deactivation completes. Falls under
+        // the same bound as the live states below.
       case ActState::kLoading:
       case ActState::kScheduled:
       case ActState::kRunning:
+        if (act->mailbox_limit > 0 &&
+            static_cast<int>(act->mailbox.size()) >= act->mailbox_limit) {
+          // Bounded mailbox: reject instead of queueing without limit. The
+          // caller's retry policy backs off and re-sends to the SAME
+          // placement once the actor drains.
+          mailbox_full = true;
+          depth = static_cast<int64_t>(act->mailbox.size());
+          break;
+        }
         act->mailbox.push_back(std::move(env));
+        queued_.fetch_add(1, std::memory_order_relaxed);
+        act->depth_gauge->Add(1);
         break;
       case ActState::kIdle:
         assert(act->mailbox.empty());
         cost = env.cost_us;
         act->mailbox.push_back(std::move(env));
+        queued_.fetch_add(1, std::memory_order_relaxed);
+        act->depth_gauge->Add(1);
         act->state = ActState::kScheduled;
         schedule = true;
         break;
     }
+  }
+  if (mailbox_full) {
+    cluster_->NoteMailboxReject();
+    if (env.trace.sampled) {
+      AODB_LOG(Warn,
+               "mailbox full for %s on silo %d (depth %lld, trace %llu)",
+               env.target.ToString().c_str(), static_cast<int>(id_),
+               static_cast<long long>(depth),
+               static_cast<unsigned long long>(env.trace.trace_id));
+    }
+    if (env.fail) {
+      env.fail(Status::Overloaded("mailbox full for " +
+                                  env.target.ToString()));
+    }
+    return;
   }
   if (reroute) {
     Reroute(std::move(env));
@@ -103,6 +183,7 @@ void Silo::BeginActivate(const ActivationPtr& act) {
             act->state = ActState::kClosed;
             pending.swap(act->mailbox);
           }
+          DrainQueueAccounting(act, pending.size());
           cluster_->directory().Remove(act->id, id_);
           {
             std::lock_guard<std::mutex> lock(mu_);
@@ -188,6 +269,8 @@ void Silo::RunTurn(const ActivationPtr& act) {
       }
       env = std::move(act->mailbox.front());
       act->mailbox.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      act->depth_gauge->Add(-1);
     }
     ProcessEnvelope(act, env);
     ++processed;
@@ -195,6 +278,7 @@ void Silo::RunTurn(const ActivationPtr& act) {
   messages_processed_.fetch_add(processed, std::memory_order_relaxed);
   if (closed) return;
   bool schedule = false;
+  bool migrate = false;
   Micros cost = 0;
   {
     std::lock_guard<std::mutex> lock(act->mu);
@@ -203,13 +287,24 @@ void Silo::RunTurn(const ActivationPtr& act) {
     if (act->state == ActState::kClosed) return;
     act->last_active.store(executor_->clock()->Now(),
                            std::memory_order_relaxed);
-    if (!act->mailbox.empty()) {
+    if (act->migrate_to != kNoSilo) {
+      // A migration was requested mid-turn: transition straight from
+      // kRunning to kDeactivating (never passing kIdle, so the idle
+      // sweeper cannot claim the activation in between). Remaining mailbox
+      // entries re-route to the new placement in FinishDeactivation.
+      act->state = ActState::kDeactivating;
+      migrate = true;
+    } else if (!act->mailbox.empty()) {
       act->state = ActState::kScheduled;
       cost = act->mailbox.front().cost_us;
       schedule = true;
     } else {
       act->state = ActState::kIdle;
     }
+  }
+  if (migrate) {
+    FinishDeactivation(act, nullptr);
+    return;
   }
   if (schedule) PostTurn(act, cost);
 }
@@ -390,6 +485,7 @@ int64_t Silo::Kill() {
       act->state = ActState::kClosed;
       pending.swap(act->mailbox);
     }
+    DrainQueueAccounting(act, pending.size());
     if (act->actor) act->actor->ctx().CancelAllTimers();
     for (auto& e : pending) drop(e);
   }
@@ -412,22 +508,108 @@ void Silo::FinishDeactivation(const ActivationPtr& act,
             [this, act, done](Result<Status>&& r) {
               Status st = r.ok() ? r.value() : r.status();
               std::deque<Envelope> pending;
+              SiloId migrate_to = kNoSilo;
               {
                 std::lock_guard<std::mutex> lock(act->mu);
                 act->state = ActState::kClosed;
+                migrate_to = act->migrate_to;
                 pending.swap(act->mailbox);
               }
-              cluster_->directory().Remove(act->id, id_);
+              DrainQueueAccounting(act, pending.size());
+              // Migration: move the directory entry to the target instead
+              // of removing it, so the rerouted mailbox and every later
+              // send land there and re-activate from persisted state. Move
+              // refuses a dead target (races with eviction); the entry is
+              // then removed and the next send re-places normally.
+              bool moved =
+                  migrate_to != kNoSilo &&
+                  cluster_->directory().Move(act->id, id_, migrate_to);
+              if (!moved) cluster_->directory().Remove(act->id, id_);
               {
                 std::lock_guard<std::mutex> lock(mu_);
                 catalog_.erase(act->id);
                 ++stats_.activations_removed;
+              }
+              if (moved) {
+                cluster_->NoteMigration();
+                AODB_LOG(Info,
+                         "migrated %s from silo %d to silo %d (%zu queued "
+                         "message(s) re-routed)",
+                         act->id.ToString().c_str(), static_cast<int>(id_),
+                         static_cast<int>(migrate_to), pending.size());
               }
               for (auto& e : pending) cluster_->Send(std::move(e));
               if (done) done(st);
             });
       },
       kLifecycleCostUs});
+}
+
+void Silo::DrainQueueAccounting(const ActivationPtr& act, size_t n) {
+  if (n == 0) return;
+  queued_.fetch_sub(static_cast<int64_t>(n), std::memory_order_relaxed);
+  act->depth_gauge->Add(-static_cast<int64_t>(n));
+}
+
+std::optional<Silo::HotActivation> Silo::HottestActivation(
+    int min_depth) const {
+  std::vector<ActivationPtr> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(catalog_.size());
+    for (const auto& [id, act] : catalog_) snapshot.push_back(act);
+  }
+  std::optional<HotActivation> best;
+  for (const auto& act : snapshot) {
+    std::lock_guard<std::mutex> lock(act->mu);
+    if (act->state == ActState::kLoading ||
+        act->state == ActState::kDeactivating ||
+        act->state == ActState::kClosed || act->migrate_to != kNoSilo) {
+      continue;
+    }
+    auto depth = static_cast<int64_t>(act->mailbox.size());
+    if (depth < min_depth) continue;
+    if (!best || depth > best->depth) best = HotActivation{act->id, depth};
+  }
+  return best;
+}
+
+bool Silo::RequestMigration(const ActorId& id, SiloId to) {
+  if (to == id_ || !alive()) return false;
+  ActivationPtr act;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = catalog_.find(id);
+    if (it == catalog_.end()) return false;
+    act = it->second;
+  }
+  bool immediate = false;
+  {
+    std::lock_guard<std::mutex> lock(act->mu);
+    switch (act->state) {
+      case ActState::kIdle:
+        // No turn in flight: deactivate now. The same state precondition
+        // the idle sweeper uses makes the two initiators mutually
+        // exclusive — whoever transitions to kDeactivating first wins, the
+        // other sees a non-kIdle state and backs off.
+        act->migrate_to = to;
+        act->state = ActState::kDeactivating;
+        immediate = true;
+        break;
+      case ActState::kScheduled:
+      case ActState::kRunning:
+        // Mark only; the in-flight turn's completion block performs the
+        // kRunning -> kDeactivating transition itself.
+        act->migrate_to = to;
+        break;
+      case ActState::kLoading:
+      case ActState::kDeactivating:
+      case ActState::kClosed:
+        return false;
+    }
+  }
+  if (immediate) FinishDeactivation(act, nullptr);
+  return true;
 }
 
 void Silo::Reroute(Envelope env) {

@@ -10,6 +10,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -20,6 +21,7 @@
 namespace aodb {
 
 class Cluster;
+class Gauge;
 
 /// Counters exposed for tests and benchmark reporting.
 struct SiloStats {
@@ -42,8 +44,33 @@ class Silo {
 
   /// Enqueues a message for its target activation, creating (activating)
   /// the actor if needed. Re-routes through the cluster if the activation
-  /// is closing.
+  /// is closing. Under overload the message may instead be rejected with
+  /// Status::Overloaded: silo-wide shedding by MessagePriority past the
+  /// configured watermarks, and per-activation bounded mailboxes
+  /// (OverloadOptions / Cluster::SetTypeMailboxDepth).
   void Deliver(Envelope env);
+
+  /// Total envelopes currently queued across this silo's mailboxes (the
+  /// shed watermarks and the hot-actor controller read this).
+  int64_t QueuedEnvelopes() const {
+    return queued_.load(std::memory_order_relaxed);
+  }
+
+  /// The deepest migration-eligible activation (queue depth >= min_depth;
+  /// not loading, closing, or already marked for migration), or nullopt.
+  struct HotActivation {
+    ActorId id;
+    int64_t depth = 0;
+  };
+  std::optional<HotActivation> HottestActivation(int min_depth) const;
+
+  /// Initiates live migration of an activation to silo `to`: the current
+  /// turn (if any) finishes, OnDeactivate flushes state, the directory
+  /// entry moves to `to`, and queued + subsequent messages re-route there,
+  /// re-activating the actor from persisted state. Returns false when the
+  /// actor is not activated here or is loading / already closing (the
+  /// controller simply retries on a later scan).
+  bool RequestMigration(const ActorId& id, SiloId to);
 
   /// Deactivates activations idle for at least `idle_timeout_us`.
   /// Returns the number of deactivations initiated.
@@ -100,6 +127,17 @@ class Silo {
     std::unique_ptr<ActorBase> actor;
     std::deque<Envelope> mailbox;
     ActState state = ActState::kLoading;
+    /// Mailbox cap (0 = unbounded) and the cluster-wide per-type depth
+    /// gauge, both resolved once at creation so enqueue stays lock-free
+    /// beyond the activation's own mu.
+    int mailbox_limit = 0;
+    Gauge* depth_gauge = nullptr;
+    /// Migration target (kNoSilo = none), guarded by mu. Set by
+    /// RequestMigration; a running/scheduled activation transitions to
+    /// kDeactivating at the end of its current turn — directly from
+    /// kRunning, never through kIdle, so the idle sweeper cannot race the
+    /// move (both initiators require a specific prior state under mu).
+    SiloId migrate_to = kNoSilo;
     /// Last turn-completion time. Atomic (relaxed) so the idle sweeper can
     /// pre-filter candidates without taking every activation's mu.
     std::atomic<Micros> last_active{0};
@@ -116,10 +154,17 @@ class Silo {
   /// drop, tracing, deadline propagation, profiling, slow-turn logging.
   void ProcessEnvelope(const ActivationPtr& act, Envelope& env);
   /// Runs OnDeactivate and removes the activation. Precondition: state was
-  /// transitioned to kDeactivating by the caller.
+  /// transitioned to kDeactivating by the caller. When the activation was
+  /// marked for migration, the directory entry is moved to the target silo
+  /// instead of removed, so the rerouted mailbox and all subsequent sends
+  /// re-activate the actor there.
   void FinishDeactivation(const ActivationPtr& act,
                           std::function<void(Status)> done);
   void Reroute(Envelope env);
+  /// Settles the silo queued-envelope count and the per-type depth gauge
+  /// for `n` envelopes drained from an activation's mailbox in bulk
+  /// (deactivation re-route, activation failure, kill).
+  void DrainQueueAccounting(const ActivationPtr& act, size_t n);
 
   const SiloId id_;
   Cluster* const cluster_;
@@ -127,10 +172,17 @@ class Silo {
   /// Envelopes one turn may drain (>= 1; 1 under the simulator — see
   /// RuntimeOptions::max_turn_batch).
   const int turn_batch_;
+  /// Shed watermarks resolved from OverloadOptions at construction
+  /// (hard watermark defaults to 2x the soft one). 0 = shedding off.
+  const int64_t shed_watermark_;
+  const int64_t shed_hard_watermark_;
   std::atomic<bool> alive_{true};
   std::atomic<bool> wedged_{false};
   /// Off the silo lock: bumped once per turn batch, not under mu_.
   std::atomic<int64_t> messages_processed_{0};
+  /// Envelopes queued across all mailboxes on this silo; the shed decision
+  /// reads it without any lock.
+  std::atomic<int64_t> queued_{0};
 
   mutable std::mutex mu_;
   /// Envelopes swallowed while wedged; failed en masse by Kill().

@@ -19,6 +19,7 @@ std::string WireEncodeRequest(const WireRequest& req) {
   w.PutFixed64(req.method_id);
   w.PutVarint(static_cast<uint64_t>(req.cost_us));
   w.PutVarint(static_cast<uint64_t>(req.deadline_us));
+  w.PutVarint(req.priority);
   w.PutVarint(req.trace_id);
   w.PutVarint(req.parent_span_id);
   w.PutVarint(req.trace_sampled ? 1 : 0);
@@ -42,6 +43,9 @@ Status WireDecodeRequest(std::string_view frame, WireRequest* out) {
   uint64_t deadline = 0;
   AODB_RETURN_NOT_OK(r.GetVarint(&deadline));
   out->deadline_us = static_cast<Micros>(deadline);
+  uint64_t priority = 0;
+  AODB_RETURN_NOT_OK(r.GetVarint(&priority));
+  out->priority = priority > 2 ? 2 : static_cast<uint8_t>(priority);
   AODB_RETURN_NOT_OK(r.GetVarint(&out->trace_id));
   AODB_RETURN_NOT_OK(r.GetVarint(&out->parent_span_id));
   uint64_t sampled = 0;

@@ -24,6 +24,11 @@ struct WireRequest {
   /// Absolute call deadline on the cluster clock (0 = none); propagated so
   /// the receiving silo can drop expired work before dispatch.
   Micros deadline_us = 0;
+  /// Shed class under overload (MessagePriority as its underlying integer;
+  /// out-of-range values clamp to the highest class rather than failing the
+  /// frame). Propagated because the load shedder runs on the RECEIVING
+  /// silo.
+  uint8_t priority = 1;
   /// Trace context of the caller's active span (all zero when the request is
   /// untraced). Varint-encoded: cluster-local counter ids cost ~1-3 bytes
   /// each, and an untraced request pays 3 zero bytes.

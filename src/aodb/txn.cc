@@ -83,12 +83,17 @@ Future<Status> TxnManager::RunOnce(std::vector<TxnOp> ops) {
   if (txn_ctx.sampled) txn_ctx.span_id = tracer.NewSpanId();
   std::vector<Future<Status>> prepares;
   prepares.reserve(ops.size());
+  // 2PC steps are control traffic: the load shedder never rejects them —
+  // shedding a prepare or phase-2 decision would strand participant locks.
+  CallOptions txn_opts;
+  txn_opts.priority = MessagePriority::kControl;
   {
     ScopedTraceContext scope(txn_ctx);
     for (const TxnOp& op : ops) {
       prepares.push_back(
           cluster_->RefAs<TransactionalActor>(op.actor_type, op.actor_key)
-              .Call(&TransactionalActor::TxnPrepare, txn_id, op.op, op.arg));
+              .CallWith(txn_opts, &TransactionalActor::TxnPrepare, txn_id,
+                        op.op, op.arg));
     }
   }
   Promise<Status> done;
@@ -115,13 +120,15 @@ Future<Status> TxnManager::RunOnce(std::vector<TxnOp> ops) {
     // it (lock not held by this txn), which keeps the protocol simple.
     {
       ScopedTraceContext scope(txn_ctx);
+      CallOptions phase2_opts;
+      phase2_opts.priority = MessagePriority::kControl;
       for (const TxnOp& op : ops) {
         auto ref =
             cluster->RefAs<TransactionalActor>(op.actor_type, op.actor_key);
         if (outcome.ok()) {
-          ref.Tell(&TransactionalActor::TxnCommit, txn_id);
+          ref.TellWith(phase2_opts, &TransactionalActor::TxnCommit, txn_id);
         } else {
-          ref.Tell(&TransactionalActor::TxnAbort, txn_id);
+          ref.TellWith(phase2_opts, &TransactionalActor::TxnAbort, txn_id);
         }
       }
     }

@@ -70,9 +70,13 @@ void WorkflowEngine::RunStep(std::shared_ptr<RunState> state) {
   RetryAsync<Status>(
       cluster_->client_executor(), options_.retry, NextSeed(),
       [cluster, step] {
+        // Workflow steps are control traffic: never load-shed.
+        CallOptions opts;
+        opts.priority = MessagePriority::kControl;
         return cluster
             ->RefAs<TransactionalActor>(step.actor_type, step.actor_key)
-            .Call(&TransactionalActor::ExecuteOp, step.op, step.arg);
+            .CallWith(opts, &TransactionalActor::ExecuteOp, step.op,
+                      step.arg);
       },
       IsTransient, [this](const Status&) { retries_->Add(); })
       .OnReady([this, state](Result<Status>&& r) {
@@ -101,10 +105,12 @@ void WorkflowEngine::Compensate(const std::shared_ptr<RunState>& state,
     RetryAsync<Status>(
         cluster_->client_executor(), options_.retry, NextSeed(),
         [cluster, comp] {
+          CallOptions opts;
+          opts.priority = MessagePriority::kControl;
           return cluster
               ->RefAs<TransactionalActor>(comp.actor_type, comp.actor_key)
-              .Call(&TransactionalActor::ExecuteOp, comp.compensate_op,
-                    comp.compensate_arg);
+              .CallWith(opts, &TransactionalActor::ExecuteOp,
+                        comp.compensate_op, comp.compensate_arg);
         },
         IsTransient, [this](const Status&) { retries_->Add(); })
         .OnReady([this, comp](Result<Status>&& r) {

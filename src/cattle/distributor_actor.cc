@@ -48,6 +48,8 @@ Status DeliveryActor::Plan(std::string distributor_key,
 Future<Status> DeliveryActor::StampAll(ItineraryEntry entry) {
   CallOptions opts;
   opts.cost_us = kCostTransfer;
+  // Workflow steps mutate traceability state: never shed under overload.
+  opts.priority = MessagePriority::kControl;
   std::vector<Future<Status>> acks;
   acks.reserve(cut_keys_.size());
   for (const std::string& key : cut_keys_) {
@@ -141,6 +143,7 @@ Future<Status> DistributorActor::TransferCutsToRetailer(
   CallOptions opts;
   opts.cost_us = kCostTransfer;
   opts.request_bytes = static_cast<int64_t>(copies.size()) * 256;
+  opts.priority = MessagePriority::kControl;
   return ctx().Ref<RetailerActor>(retailer_key)
       .CallWith(opts, &RetailerActor::ReceiveCuts, std::move(copies));
 }

@@ -35,6 +35,8 @@ Future<std::vector<std::string>> SlaughterhouseActor::CreateCuts(
   std::string self_key = ctx().self().key;
   CallOptions opts;
   opts.cost_us = kCostTransfer;
+  // Workflow steps mutate traceability state: never shed under overload.
+  opts.priority = MessagePriority::kControl;
   for (int i = 0; i < num_cuts; ++i) {
     std::string key = cow_key + ".cut" + std::to_string(i);
     keys.push_back(key);
@@ -103,6 +105,7 @@ Future<Status> SlaughterhouseActor::TransferCutsTo(
   opts.cost_us = kCostTransfer;
   // Object copies travel in the message (the §4.3 copying overhead).
   opts.request_bytes = static_cast<int64_t>(copies.size()) * 256;
+  opts.priority = MessagePriority::kControl;
   return ctx().Ref<DistributorActor>(distributor_key)
       .CallWith(opts, &DistributorActor::ReceiveCuts, std::move(copies));
 }

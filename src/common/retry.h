@@ -45,10 +45,14 @@ struct RetryPolicy {
 };
 
 /// True for the transiently-failing status codes a retry may heal:
-/// Unavailable (silo down / storage throttled), Timeout, and Aborted
-/// (optimistic lock collisions).
+/// Unavailable (silo down / storage throttled), Timeout, Aborted
+/// (optimistic lock collisions), and Overloaded (bounded mailbox full /
+/// load shed — the target is alive, just saturated; a jittered backoff
+/// gives it time to drain, and unlike Unavailable no failover re-placement
+/// is involved).
 inline bool IsTransient(const Status& st) {
-  return st.IsUnavailable() || st.IsTimeout() || st.IsAborted();
+  return st.IsUnavailable() || st.IsTimeout() || st.IsAborted() ||
+         st.IsOverloaded();
 }
 
 /// Tracks one retried operation's attempts against a policy. Seeded, so the

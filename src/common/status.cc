@@ -18,6 +18,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kOverloaded: return "Overloaded";
   }
   return "Unknown";
 }

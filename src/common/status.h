@@ -32,7 +32,14 @@ enum class StatusCode : int {
   kResourceExhausted = 11,
   kInternal = 12,
   kCancelled = 13,
+  kOverloaded = 14,      ///< Backpressure: mailbox full or load shed; retry
+                         ///< with backoff against the SAME placement (unlike
+                         ///< Unavailable, which re-places/fails over).
 };
+
+/// Highest valid StatusCode value (codecs range-check decoded codes
+/// against it).
+constexpr StatusCode kMaxStatusCode = StatusCode::kOverloaded;
 
 /// Human-readable name of a status code, e.g. "NotFound".
 const char* StatusCodeName(StatusCode code);
@@ -66,6 +73,7 @@ class Status {
   AODB_STATUS_CTOR(ResourceExhausted)
   AODB_STATUS_CTOR(Internal)
   AODB_STATUS_CTOR(Cancelled)
+  AODB_STATUS_CTOR(Overloaded)
 #undef AODB_STATUS_CTOR
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -78,6 +86,7 @@ class Status {
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsUnauthorized() const { return code_ == StatusCode::kUnauthorized; }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -107,7 +107,7 @@ struct WireCodec<Status> {
     std::string msg;
     AODB_RETURN_NOT_OK(r->GetVarint(&code));
     AODB_RETURN_NOT_OK(r->GetString(&msg));
-    if (code > static_cast<uint64_t>(StatusCode::kCancelled)) {
+    if (code > static_cast<uint64_t>(kMaxStatusCode)) {
       return Status::Corruption("status code out of range");
     }
     *out = Status(static_cast<StatusCode>(code), std::move(msg));
@@ -222,7 +222,7 @@ Result<T> WireDecodeResult(BufReader* r) {
   uint64_t code = 0;
   std::string msg;
   if (!r->GetVarint(&code).ok() || !r->GetString(&msg).ok() || code == 0 ||
-      code > static_cast<uint64_t>(StatusCode::kCancelled)) {
+      code > static_cast<uint64_t>(kMaxStatusCode)) {
     return Result<T>::FromError(Status::Corruption("wire result error"));
   }
   return Result<T>::FromError(Status(static_cast<StatusCode>(code), msg));

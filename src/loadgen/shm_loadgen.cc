@@ -12,6 +12,12 @@ ShmLoadGen::ShmLoadGen(shm::ShmPlatform* platform,
       exec_(client_executor),
       options_(options),
       rng_(options.seed) {
+  if (options_.admission_rate_rps > 0) {
+    admission_ = std::make_unique<TokenBucket>(
+        options_.admission_rate_rps,
+        options_.admission_burst > 0 ? options_.admission_burst
+                                     : options_.admission_rate_rps);
+  }
   signals_.reserve(topology_.sensors);
   for (int s = 0; s < topology_.sensors; ++s) {
     signals_.emplace_back(options.seed * 7919 + s);
@@ -53,17 +59,27 @@ void ShmLoadGen::Wave() {
 void ShmLoadGen::FireWave(Micros now) {
   // Insertions: one packet per sensor whose previous call has finished.
   for (int s = 0; s < topology_.sensors; ++s) {
-    bool fire = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (!sensor_busy_[s]) {
-        sensor_busy_[s] = true;
-        fire = true;
-      } else {
+      if (sensor_busy_[s]) {
         ++report_.ticks_skipped;
+        continue;
       }
     }
-    if (fire) FireInsert(s, now);
+    if (admission_ != nullptr && admission_->Reserve(now, 1.0) > 0) {
+      // Over the admitted rate this second: refuse at the gateway instead
+      // of queueing. The bucket reserves unconditionally, so the refused
+      // token is returned; the sensor stays eligible next wave.
+      admission_->Refund(1.0);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++report_.admission_rejected;
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sensor_busy_[s] = true;
+    }
+    FireInsert(s, now);
   }
   if (!options_.user_queries) return;
   // User queries: per organization, one live-data and one raw-range request

@@ -23,6 +23,7 @@
 #include "common/histogram.h"
 #include "loadgen/signal.h"
 #include "shm/platform.h"
+#include "storage/cloud_kv.h"
 
 namespace aodb {
 
@@ -38,6 +39,16 @@ struct LoadGenOptions {
   /// Enable the 1-per-org-per-second user queries (off for pure-ingestion
   /// experiments like Figures 6 and 7).
   bool user_queries = false;
+  /// Gateway admission control: token-bucket cap on telemetry insertions
+  /// admitted per second across all sensors (0 = off). Insertions beyond
+  /// the rate are refused at the edge — counted in admission_rejected,
+  /// never put on the cluster — modeling an ingress gateway that sheds
+  /// flash-crowd excess before it becomes queued work.
+  double admission_rate_rps = 0;
+  /// Bucket burst capacity in requests (defaults to one second's worth of
+  /// rate when 0). Sensors fire in per-second waves, so the default admits
+  /// a full wave at the admitted rate.
+  double admission_burst = 0;
   uint64_t seed = 1234;
 };
 
@@ -53,6 +64,9 @@ struct LoadGenReport {
   int64_t errors = 0;
   int64_t waves_fired = 0;
   int64_t ticks_skipped = 0;  ///< Per-sensor skips (previous call running).
+  /// Insertions refused by the gateway token bucket (admission control on;
+  /// these never reached the cluster and are not errors).
+  int64_t admission_rejected = 0;
   /// Completed insertion requests per interior window -> achieved req/s.
   double achieved_insert_rps = 0;
   double achieved_rps_stddev = 0;
@@ -91,6 +105,8 @@ class ShmLoadGen {
   LoadGenOptions options_;
 
   std::vector<SignalGenerator> signals_;  // One per sensor.
+  /// Gateway admission bucket (null when admission control is off).
+  std::unique_ptr<TokenBucket> admission_;
   Rng rng_;
   Micros start_time_ = 0;
   Micros end_time_ = 0;

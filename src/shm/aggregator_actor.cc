@@ -29,6 +29,7 @@ void AggregatorActor::CloseWindowsBefore(int64_t window_idx) {
   CallOptions opts;
   opts.cost_us = kCostAggUpdate;
   opts.request_bytes = static_cast<int64_t>(closed.size()) * kBytesPerPoint;
+  opts.priority = MessagePriority::kControl;
   ctx()
       .Ref<AggregatorActor>(parent_key_)
       .TellWith(opts, &AggregatorActor::Update, std::move(closed));

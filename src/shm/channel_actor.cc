@@ -15,6 +15,7 @@ namespace {
 void ConfigureAggChain(ActorContext& ctx, const AggChainSpec& aggs) {
   CallOptions opts;
   opts.cost_us = kCostConfigure;
+  opts.priority = MessagePriority::kControl;
   if (!aggs.hour_key.empty()) {
     ctx.Ref<AggregatorActor>(aggs.hour_key)
         .TellWith(opts, &AggregatorActor::Configure, aggs.hour_len_us,
@@ -203,6 +204,8 @@ Status PhysicalChannelActor::Append(std::vector<DataPoint> points) {
     CallOptions opts;
     opts.cost_us = kCostAggUpdate;
     opts.request_bytes = batch_bytes;
+    // Interior fan-out of admitted data (see SensorActor): never shed.
+    opts.priority = MessagePriority::kControl;
     ctx().Ref<AggregatorActor>(cfg.aggregator_key)
         .TellWith(opts, &AggregatorActor::Update, points);
   }
@@ -210,6 +213,7 @@ Status PhysicalChannelActor::Append(std::vector<DataPoint> points) {
     CallOptions opts;
     opts.cost_us = kCostVirtualCompute;
     opts.request_bytes = batch_bytes;
+    opts.priority = MessagePriority::kControl;
     ctx().Ref<VirtualChannelActor>(cfg.virtual_key)
         .TellWith(opts, &VirtualChannelActor::SourceUpdate, ctx().self().key,
                   std::move(points));
@@ -294,6 +298,7 @@ Status VirtualChannelActor::SourceUpdate(std::string source_key,
     opts.cost_us = kCostAggUpdate;
     opts.request_bytes =
         static_cast<int64_t>(derived.size()) * kBytesPerPoint;
+    opts.priority = MessagePriority::kControl;
     ctx().Ref<AggregatorActor>(st.config.aggregator_key)
         .TellWith(opts, &AggregatorActor::Update, std::move(derived));
   }

@@ -142,6 +142,8 @@ Future<Status> ShmPlatform::Setup(const ShmTopology& t) {
   int orgs = NumOrgs(t);
   CallOptions cfg;
   cfg.cost_us = kCostConfigure;
+  // Topology setup is control traffic: never shed under overload.
+  cfg.priority = MessagePriority::kControl;
   for (int o = 0; o < orgs; ++o) {
     auto org = cluster_->Ref<OrganizationActor>(OrgKey(o));
     acks.push_back(
@@ -224,6 +226,9 @@ Future<Status> ShmPlatform::Insert(const ShmTopology& t, int sensor,
   CallOptions opts;
   opts.cost_us = kCostSensorInsert;
   opts.request_bytes = static_cast<int64_t>(points.size()) * kBytesPerPoint;
+  // Sensor ingest is the first traffic shed when a silo saturates; the
+  // retry policy backs off on the resulting Overloaded and re-sends.
+  opts.priority = MessagePriority::kTelemetry;
   Cluster* cluster = cluster_;
   bool durable = client_options_.durable_acks;
   Principal tenant = TenantOf(t, sensor, false);
@@ -249,6 +254,7 @@ Future<std::vector<LiveDataEntry>> ShmPlatform::LiveData(const ShmTopology& t,
                                                          int org) {
   CallOptions opts;
   opts.cost_us = kCostOrgLiveFanout;
+  opts.priority = MessagePriority::kQuery;
   // Response carries one entry per channel of the organization.
   opts.response_bytes =
       static_cast<int64_t>(t.sensors_per_org) * t.channels_per_sensor * 24;
@@ -271,6 +277,7 @@ Future<RangeReply> ShmPlatform::RawRange(const ShmTopology& t, int sensor,
   CallOptions opts;
   opts.cost_us = kCostChannelRange;
   opts.response_bytes = 100 * kBytesPerPoint;
+  opts.priority = MessagePriority::kQuery;
   Cluster* cluster = cluster_;
   Principal tenant = TenantOf(t, sensor, false);
   std::string key = ChannelKey(sensor, channel);

@@ -26,6 +26,7 @@ Future<Status> SensorActor::SetupChannels(std::string org_key,
   state().channel_keys.clear();
   CallOptions opts;
   opts.cost_us = kCostConfigure;
+  opts.priority = MessagePriority::kControl;
   std::vector<Future<Status>> acks;
   for (ChannelSpec& spec : channels) {
     state().channel_keys.push_back(spec.key);
@@ -95,6 +96,10 @@ Future<Status> SensorActor::InsertImpl(std::vector<DataPoint> points,
     CallOptions opts;
     opts.cost_us = kCostChannelAppend;
     opts.request_bytes = static_cast<int64_t>(batch.size()) * kBytesPerPoint;
+    // Interior pipeline hop of already-admitted data: never shed — data
+    // accepted at the edge must reach its channels, or the sensor's ack
+    // would lie. Shedding happens at the sensor-insert edge only.
+    opts.priority = MessagePriority::kControl;
     auto ref = ctx().Ref<PhysicalChannelActor>(st.channel_keys[c]);
     acks.push_back(
         durable ? ref.CallWith(opts, &PhysicalChannelActor::AppendDurable,
