@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Extended deterministic chaos sweep — the long-running version of the
+# tier-1 dst leg. Explores a much larger seed range through the chaos
+# explorer (tests/dst_explore.cc), checking every run against the cluster
+# invariants: exactly-one-live-activation, durable-ack write conservation,
+# monotonic oracle reads, and zero leaked promises at shutdown.
+#
+# A violating seed leaves two artifacts under the artifact directory:
+#   seed-<N>.json      the full fault schedule (replayable, bit-identical)
+#   seed-<N>.min.json  the ddmin-minimized schedule for the same violation
+# Reproduce either with:  ./build/tests/dst_explore --replay=<artifact>
+#
+# Usage: scripts/dst_nightly.sh [seeds] [base-seed]
+#   seeds       number of seeds to sweep (default 5000)
+#   base-seed   first seed; shift this to explore fresh schedules nightly,
+#               e.g. scripts/dst_nightly.sh 5000 "$(date +%Y%m%d)"
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${1:-5000}"
+BASE_SEED="${2:-1}"
+ARTIFACT_DIR="${DST_ARTIFACT_DIR:-build/dst_artifacts}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target dst_explore
+
+echo "dst_nightly: sweeping $SEEDS seeds from base $BASE_SEED"
+./build/tests/dst_explore --seeds="$SEEDS" --base-seed="$BASE_SEED" \
+  --artifact-dir="$ARTIFACT_DIR"
+echo "dst_nightly: clean ($SEEDS seeds, no invariant violations)"

@@ -9,9 +9,20 @@
 # targets and the ctest selection, so a list entry cannot silently rot: a
 # listed binary that the build did not produce fails the leg.
 #
-# Usage: scripts/tier1.sh [--no-asan] [--no-tsan]
+# The dst leg then sweeps seeded fault schedules through the deterministic
+# chaos explorer (tests/dst_explore.cc): every seed runs the full cluster
+# invariant suite (single-activation, write conservation, monotonic reads,
+# promise leaks); a violating seed leaves a JSON replay artifact plus a
+# ddmin-minimized schedule and fails the leg. scripts/dst_nightly.sh runs
+# the long version of the same sweep.
+#
+# Usage: scripts/tier1.sh [--no-asan] [--no-tsan] [--no-dst]
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Seeds for the tier-1 dst sweep: enough to re-find every historical
+# invariant bug class in a few minutes, small enough for the time box.
+DST_SEEDS="${DST_SEEDS:-200}"
 
 # Sanitized leg: the tests that exercise cross-thread and fault paths.
 ASAN_TESTS=(
@@ -49,16 +60,32 @@ require_binaries() {
 
 run_asan=1
 run_tsan=1
+run_dst=1
 for arg in "$@"; do
   case "$arg" in
     --no-asan) run_asan=0 ;;
     --no-tsan) run_tsan=0 ;;
+    --no-dst) run_dst=0 ;;
   esac
 done
 
 cmake -B build -S . >/dev/null
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "$run_dst" == 1 ]]; then
+  # Deterministic chaos sweep. Nonzero exit means an invariant violation
+  # (artifact paths are printed by the driver) or a broken harness.
+  if ! ./build/tests/dst_explore --seeds="$DST_SEEDS" \
+      --artifact-dir=build/dst_artifacts; then
+    echo "tier1: ERROR: dst sweep failed; replay artifacts (if any) are" >&2
+    echo "tier1:   under build/dst_artifacts/ — rerun a schedule with" >&2
+    echo "tier1:   ./build/tests/dst_explore --replay=<artifact.json>" >&2
+    exit 1
+  fi
+else
+  echo "tier1: skipping dst sweep (--no-dst)"
+fi
 
 if [[ "$run_asan" == 1 ]]; then
   cmake -B build-asan -S . -DAODB_SANITIZE=ON \

@@ -153,6 +153,13 @@ void Cluster::Send(Envelope env) {
     silo->Deliver(std::move(env));
     return;
   }
+  if (network_.Partitioned(from, target)) {
+    // The directed link is severed: the connection attempt fails at the
+    // sender. Callers retry (and may be re-placed); tells are lost, as on a
+    // black-holing route.
+    if (env.fail) env.fail(Status::Unavailable("link partitioned"));
+    return;
+  }
   FaultInjector* injector = fault_injector();
   if (injector != nullptr && injector->ShouldDropMessage()) {
     // Lost on the wire. The sender sees the transport-level failure
@@ -183,20 +190,29 @@ void Cluster::Send(Envelope env) {
   closure_fallbacks_->Add();
   env.cost_us += options_.network.serialization_cost_us;
   Executor* exec = silo_executors_[target];
+  // A reorder hold-back lands AFTER the FIFO arrival slot is claimed, so
+  // later sends on the channel overtake this message.
+  Micros reorder_us = injector != nullptr ? injector->NextReorderDelay() : 0;
   if (duplicate) {
     // At-least-once delivery under retransmission: the same envelope
     // arrives twice. Calls resolve with the first reply (promises are
     // first-fulfillment-wins); non-idempotent tells observe the anomaly.
+    // The duplicate draws its OWN hold-back: a real retransmission can
+    // surface long after the original (and after the actor it re-targets
+    // has idled out) — the nastiest stale-mail shape.
     Envelope copy = env;
+    Micros dup_reorder_us =
+        injector != nullptr ? injector->NextDuplicateLag() : 0;
     Micros dup_arrival = network_.FifoArrival(from, target, copy.approx_bytes,
                                               exec->clock()->Now());
-    exec->PostAt(dup_arrival, [silo, copy = std::move(copy)]() mutable {
-      silo->Deliver(std::move(copy));
-    });
+    exec->PostAt(dup_arrival + dup_reorder_us,
+                 [silo, copy = std::move(copy)]() mutable {
+                   silo->Deliver(std::move(copy));
+                 });
   }
   Micros arrival = network_.FifoArrival(from, target, env.approx_bytes,
                                         exec->clock()->Now());
-  exec->PostAt(arrival, [silo, env = std::move(env)]() mutable {
+  exec->PostAt(arrival + reorder_us, [silo, env = std::move(env)]() mutable {
     silo->Deliver(std::move(env));
   });
 }
@@ -254,17 +270,25 @@ void Cluster::SendWire(Envelope env, SiloId from, SiloId target,
   auto deliver = [self, target, from, frame, reply] {
     self->DeliverWireFrame(target, from, frame, reply);
   };
+  // As in the closure lane: a reorder hold-back is added after the FIFO
+  // slot is claimed, so fresher frames overtake this one.
+  FaultInjector* injector = fault_injector();
+  Micros reorder_us = injector != nullptr ? injector->NextReorderDelay() : 0;
   if (duplicate) {
     // Retransmission anomaly: the same frame arrives twice, the method runs
     // twice, and the duplicate reply is dropped by the caller's promise
-    // (first fulfillment wins; see PromiseDuplicatesDropped).
+    // (first fulfillment wins; see PromiseDuplicatesDropped). As in the
+    // closure lane, the duplicate draws its own hold-back so it can arrive
+    // well after the original — stale mail against a moved-on directory.
+    Micros dup_reorder_us =
+        injector != nullptr ? injector->NextDuplicateLag() : 0;
     Micros dup_arrival =
         network_.FifoArrival(from, target, bytes, exec->clock()->Now());
-    exec->PostAt(dup_arrival, deliver);
+    exec->PostAt(dup_arrival + dup_reorder_us, deliver);
   }
   Micros arrival =
       network_.FifoArrival(from, target, bytes, exec->clock()->Now());
-  exec->PostAt(arrival, deliver);
+  exec->PostAt(arrival + reorder_us, deliver);
 }
 
 void Cluster::DeliverWireFrame(SiloId target, SiloId caller_silo,
@@ -352,6 +376,13 @@ void Cluster::SendReply(SiloId from, SiloId to, int64_t bytes,
                         std::function<void()> fn) {
   if (from == to) {
     fn();
+    return;
+  }
+  if (network_.Partitioned(from, to)) {
+    // Asymmetric partition: the request got through but the reply path is
+    // severed, so the reply vanishes silently and the caller's deadline
+    // watchdog is what surfaces the failure — exactly the half-open
+    // connection shape symmetric faults cannot produce.
     return;
   }
   Executor* exec = ExecutorFor(to);
@@ -838,6 +869,16 @@ void Cluster::Stop() {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopped_) return;
     stopped_ = true;
+    // Promise-leak audit: promises that died unfulfilled with a waiting
+    // continuation during this cluster's lifetime. Non-zero means some path
+    // dropped a reply handler without completing it — the hang-forever bug
+    // class the deadline watchdogs exist to paper over.
+    int64_t leaked = PromisesLeaked() - promise_leak_baseline_;
+    metrics_.GetGauge("runtime.leaked_promises")->Set(leaked);
+    if (leaked > 0) {
+      AODB_LOG(Warn, "%lld promise(s) leaked during this cluster's lifetime",
+               static_cast<long long>(leaked));
+    }
     if (scanner_alive_) *scanner_alive_ = false;
     if (overload_alive_) *overload_alive_ = false;
     for (auto& [key, entry] : reminders_) {

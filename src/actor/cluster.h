@@ -420,6 +420,10 @@ class Cluster {
   std::unordered_map<std::string, ReminderEntry> reminders_;
   std::shared_ptr<bool> scanner_alive_;
   std::shared_ptr<bool> overload_alive_;
+  /// Process-wide PromisesLeaked() at construction; Stop() publishes the
+  /// lifetime delta as the "runtime.leaked_promises" gauge, so a run that
+  /// dropped a continuation on the floor is visible in the registry.
+  const int64_t promise_leak_baseline_ = PromisesLeaked();
   /// Overload-controller private state, touched ONLY from RebalanceHotActors
   /// (ticks are serialized on the client executor, so no lock): smoothed
   /// per-silo queued-envelope loads plus the cooldown bookkeeping for

@@ -87,6 +87,14 @@ size_t Directory::Count() const {
   return entries_.size();
 }
 
+std::vector<std::pair<ActorId, SiloId>> Directory::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<ActorId, SiloId>> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, silo] : entries_) out.emplace_back(id, silo);
+  return out;
+}
+
 SiloId Directory::Place(const ActorId& id, SiloId caller) {
   Placement p = default_placement_;
   auto it = type_placement_.find(id.type);

@@ -65,6 +65,11 @@ class Directory {
   /// Number of registered activations.
   size_t Count() const;
 
+  /// Point-in-time copy of every registration (id -> hosting silo). Used by
+  /// the DST invariant checkers to cross-check silo catalogs against the
+  /// directory's view of ownership.
+  std::vector<std::pair<ActorId, SiloId>> Snapshot() const;
+
  private:
   SiloId Place(const ActorId& id, SiloId caller);
   /// Uniformly random live silo, or kNoSilo when none is live.

@@ -27,10 +27,16 @@ void FaultInjector::Arm(Cluster* cluster) {
                            std::memory_order_release);
   corrupted_metric_.store(reg.GetCounter("fault.messages_corrupted"),
                           std::memory_order_release);
+  reordered_metric_.store(reg.GetCounter("fault.messages_reordered"),
+                          std::memory_order_release);
   storage_errors_metric_.store(reg.GetCounter("fault.storage_errors"),
                                std::memory_order_release);
   storage_spikes_metric_.store(reg.GetCounter("fault.storage_spikes"),
                                std::memory_order_release);
+  torn_writes_metric_.store(reg.GetCounter("fault.torn_writes"),
+                            std::memory_order_release);
+  link_severs_metric_.store(reg.GetCounter("fault.link_severs"),
+                            std::memory_order_release);
   kills_metric_.store(reg.GetCounter("fault.silo_kills"),
                       std::memory_order_release);
   restarts_metric_.store(reg.GetCounter("fault.silo_restarts"),
@@ -42,6 +48,32 @@ void FaultInjector::Arm(Cluster* cluster) {
     if (ev.restart_after_us > 0) {
       exec->PostAfter(ev.at_us + ev.restart_after_us,
                       [cluster, silo] { cluster->RestartSilo(silo); });
+    }
+  }
+  for (const LinkPartitionEvent& ev : plan_.partitions) {
+    SiloId from = ev.from;
+    SiloId to = ev.to;
+    bool symmetric = ev.symmetric;
+    FaultInjector* self = this;
+    exec->PostAfter(ev.at_us, [cluster, self, from, to, symmetric] {
+      AODB_LOG(Warn, "severing link %d -> %d%s", static_cast<int>(from),
+               static_cast<int>(to), symmetric ? " (both directions)" : "");
+      cluster->network().SetPartitioned(from, to, true);
+      if (symmetric) cluster->network().SetPartitioned(to, from, true);
+      self->link_severs_.fetch_add(1);
+      self->Mirror(self->link_severs_metric_);
+    });
+    if (ev.heal_after_us > 0) {
+      exec->PostAfter(ev.at_us + ev.heal_after_us,
+                      [cluster, from, to, symmetric] {
+                        AODB_LOG(Info, "healing link %d -> %d%s",
+                                 static_cast<int>(from), static_cast<int>(to),
+                                 symmetric ? " (both directions)" : "");
+                        cluster->network().SetPartitioned(from, to, false);
+                        if (symmetric) {
+                          cluster->network().SetPartitioned(to, from, false);
+                        }
+                      });
     }
   }
   for (const SiloWedgeEvent& ev : plan_.wedges) {
@@ -120,6 +152,33 @@ bool FaultInjector::MaybeCorruptFrame(std::string* frame) {
   return true;
 }
 
+Micros FaultInjector::NextReorderDelay() {
+  if (plan_.message.reorder_prob <= 0 ||
+      plan_.message.reorder_max_delay_us <= 0) {
+    return 0;
+  }
+  Micros delay = 0;
+  {
+    std::lock_guard<std::mutex> lock(message_mu_);
+    if (message_rng_.Bernoulli(plan_.message.reorder_prob)) {
+      delay = static_cast<Micros>(message_rng_.NextBelow(
+          static_cast<uint64_t>(plan_.message.reorder_max_delay_us)));
+    }
+  }
+  if (delay > 0) {
+    messages_reordered_.fetch_add(1);
+    Mirror(reordered_metric_);
+  }
+  return delay;
+}
+
+Micros FaultInjector::NextDuplicateLag() {
+  if (plan_.message.reorder_max_delay_us <= 0) return 0;
+  std::lock_guard<std::mutex> lock(message_mu_);
+  return static_cast<Micros>(message_rng_.NextBelow(
+      static_cast<uint64_t>(plan_.message.reorder_max_delay_us)));
+}
+
 Status FaultInjector::NextStorageFault() {
   if (plan_.storage.error_prob <= 0) return Status::OK();
   bool fail;
@@ -131,6 +190,19 @@ Status FaultInjector::NextStorageFault() {
   storage_errors_.fetch_add(1);
   Mirror(storage_errors_metric_);
   return Status(plan_.storage.error, "injected storage fault");
+}
+
+bool FaultInjector::NextTornWrite() {
+  if (plan_.storage.torn_write_prob <= 0) return false;
+  bool torn;
+  {
+    std::lock_guard<std::mutex> lock(storage_mu_);
+    torn = storage_rng_.Bernoulli(plan_.storage.torn_write_prob);
+  }
+  if (!torn) return false;
+  torn_writes_.fetch_add(1);
+  Mirror(torn_writes_metric_);
+  return true;
 }
 
 Micros FaultInjector::NextStorageDelay() {

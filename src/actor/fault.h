@@ -52,6 +52,22 @@ struct SiloWedgeEvent {
   bool suppress_only = false;
 };
 
+/// One scheduled link-level partition: the directed silo->silo link is
+/// severed at `at_us` and (optionally) healed after `heal_after_us`.
+/// Partitions are asymmetric by default — severing A -> B leaves B -> A
+/// intact — which is the failure shape whole-silo wedges cannot express:
+/// A times out probing B while B (and everyone else) still sees A as
+/// healthy. Times are relative to FaultInjector::Arm.
+struct LinkPartitionEvent {
+  Micros at_us = 0;
+  SiloId from = 0;
+  SiloId to = 0;
+  /// Delay after the sever until the link heals; 0 means it never heals.
+  Micros heal_after_us = 0;
+  /// Also sever (and heal) the reverse direction.
+  bool symmetric = false;
+};
+
 /// Loss model of the messaging substrate, applied to every remote
 /// (cross-node) send. A dropped request surfaces at the sender as
 /// Unavailable — the transport noticing the broken connection — so callers
@@ -66,6 +82,13 @@ struct MessageFaults {
   /// surfaces as Status::Corruption at the decoding end, never as undefined
   /// behavior in a decoder.
   double corrupt_prob = 0;
+  /// Probability a delivered message is held back by an extra uniform
+  /// delay in [0, reorder_max_delay_us), letting later sends on the same
+  /// channel overtake it (a retransmitted packet arriving after fresher
+  /// traffic). Breaks the network model's per-channel FIFO guarantee on
+  /// purpose.
+  double reorder_prob = 0;
+  Micros reorder_max_delay_us = 20 * kMicrosPerMilli;
 };
 
 /// Transient-failure model of the storage tier, consumed by
@@ -80,6 +103,12 @@ struct StorageFaults {
   double latency_spike_prob = 0;
   Micros spike_latency_us = 50 * kMicrosPerMilli;
   StatusCode error = StatusCode::kUnavailable;
+  /// Probability a Write is torn: the process "crashes" mid-append and the
+  /// store's log recovery discards the partial tail record (the semantics
+  /// FileKvStore's replay guarantees — see the torn-tail recovery tests),
+  /// so the caller sees IoError, the write was never acked, and the
+  /// previous durable snapshot remains readable.
+  double torn_write_prob = 0;
 };
 
 /// The full seeded chaos scenario.
@@ -88,6 +117,8 @@ struct FaultPlan {
   std::vector<SiloCrashEvent> crashes;
   /// Unannounced hangs / gray failures; require membership to recover.
   std::vector<SiloWedgeEvent> wedges;
+  /// Directed link severs/heals (NetworkModel partition matrix).
+  std::vector<LinkPartitionEvent> partitions;
   MessageFaults message;
   StorageFaults storage;
 };
@@ -117,6 +148,17 @@ class FaultInjector {
   /// Possibly corrupts an encoded wire frame in place (flips one bit or
   /// truncates the tail). Returns true if the frame was mutated.
   bool MaybeCorruptFrame(std::string* frame);
+  /// Extra hold-back delay for this delivery (0 most of the time); nonzero
+  /// lets later messages on the same channel overtake this one.
+  Micros NextReorderDelay();
+
+  /// Retransmission lag for a duplicated message: uniform in
+  /// [0, reorder_max_delay_us), drawn unconditionally (a retransmission
+  /// implies the sender already waited out a timeout, so duplicates are
+  /// inherently late). This is the injector's stale-mail generator: a dup
+  /// landing after its actor idle-deactivated probes the resurrection /
+  /// split-brain guards.
+  Micros NextDuplicateLag();
 
   // --- Storage hooks (called by FaultyStateStorage) -----------------------
 
@@ -124,6 +166,10 @@ class FaultInjector {
   Status NextStorageFault();
   /// Extra latency to charge this storage operation (0 most of the time).
   Micros NextStorageDelay();
+  /// True if this Write is torn (crash mid-append; the tail record is
+  /// discarded by log recovery, so the write fails un-acked and the prior
+  /// durable value survives).
+  bool NextTornWrite();
 
   /// Called by Cluster when a kill / restart actually executes.
   void RecordKill() {
@@ -140,8 +186,11 @@ class FaultInjector {
   int64_t messages_dropped() const { return messages_dropped_.load(); }
   int64_t messages_duplicated() const { return messages_duplicated_.load(); }
   int64_t messages_corrupted() const { return messages_corrupted_.load(); }
+  int64_t messages_reordered() const { return messages_reordered_.load(); }
   int64_t storage_errors() const { return storage_errors_.load(); }
   int64_t storage_spikes() const { return storage_spikes_.load(); }
+  int64_t torn_writes() const { return torn_writes_.load(); }
+  int64_t link_severs() const { return link_severs_.load(); }
   int64_t silo_kills() const { return silo_kills_.load(); }
   int64_t silo_restarts() const { return silo_restarts_.load(); }
 
@@ -164,8 +213,11 @@ class FaultInjector {
   std::atomic<int64_t> messages_dropped_{0};
   std::atomic<int64_t> messages_duplicated_{0};
   std::atomic<int64_t> messages_corrupted_{0};
+  std::atomic<int64_t> messages_reordered_{0};
   std::atomic<int64_t> storage_errors_{0};
   std::atomic<int64_t> storage_spikes_{0};
+  std::atomic<int64_t> torn_writes_{0};
+  std::atomic<int64_t> link_severs_{0};
   std::atomic<int64_t> silo_kills_{0};
   std::atomic<int64_t> silo_restarts_{0};
 
@@ -173,8 +225,11 @@ class FaultInjector {
   std::atomic<Counter*> dropped_metric_{nullptr};
   std::atomic<Counter*> duplicated_metric_{nullptr};
   std::atomic<Counter*> corrupted_metric_{nullptr};
+  std::atomic<Counter*> reordered_metric_{nullptr};
   std::atomic<Counter*> storage_errors_metric_{nullptr};
   std::atomic<Counter*> storage_spikes_metric_{nullptr};
+  std::atomic<Counter*> torn_writes_metric_{nullptr};
+  std::atomic<Counter*> link_severs_metric_{nullptr};
   std::atomic<Counter*> kills_metric_{nullptr};
   std::atomic<Counter*> restarts_metric_{nullptr};
 };

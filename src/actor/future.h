@@ -38,6 +38,18 @@ inline std::atomic<int64_t>& DuplicateCompletions() {
   return counter;
 }
 
+/// Process-wide count of promises that died unfulfilled WITH a continuation
+/// registered: someone was waiting and nobody ever answered — a dropped
+/// reply handler, an envelope destroyed without running its fail hook. A
+/// promise with no waiter that dies unfulfilled is not counted (futures are
+/// routinely abandoned on purpose). Observable via PromisesLeaked(); the
+/// cluster exposes its lifetime delta as the "runtime.leaked_promises"
+/// gauge at Stop().
+inline std::atomic<int64_t>& LeakedPromises() {
+  static std::atomic<int64_t> counter{0};
+  return counter;
+}
+
 /// Continuation callable. Small-buffer sized for the runtime's own reply
 /// handlers so registering the (almost always single) continuation does not
 /// heap-allocate.
@@ -46,6 +58,15 @@ using FutureCallback = SmallFunction<void(Result<T>&&), 64>;
 
 template <typename T>
 struct FutureState {
+  ~FutureState() {
+    // No lock needed: the last owner is tearing the state down, so nobody
+    // else can be registering callbacks or setting results concurrently.
+    if (!result.has_value() &&
+        (has_first_callback || !more_callbacks.empty())) {
+      LeakedPromises().fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   std::mutex mu;
   std::condition_variable cv;
   std::optional<Result<T>> result;
@@ -93,6 +114,12 @@ struct FutureState {
 /// promise was already fulfilled (monotonic).
 inline int64_t PromiseDuplicatesDropped() {
   return internal::DuplicateCompletions().load(std::memory_order_relaxed);
+}
+
+/// Number of promises destroyed unfulfilled with a waiting continuation so
+/// far in this process (monotonic). See internal::LeakedPromises.
+inline int64_t PromisesLeaked() {
+  return internal::LeakedPromises().load(std::memory_order_relaxed);
 }
 
 template <typename T>

@@ -185,23 +185,30 @@ void MembershipService::SendProbe(SiloId from, SiloId to) {
   auto running = running_;
   Executor* from_exec = c->ExecutorFor(from);
   Executor* to_exec = c->ExecutorFor(to);
-  // The probe rides the same network model as application traffic.
-  Micros arrive = c->network().FifoArrival(from, to, kProbeBytes,
-                                           to_exec->clock()->Now());
-  to_exec->PostAt(arrive, [self, c, running, from, to, acked] {
-    if (!running->load(std::memory_order_acquire)) return;
-    Silo* target = c->silo(to);
-    // Only a healthy membership agent acks: dead and wedged silos are
-    // silent, and a suppressed (gray-failing) silo is silent here even
-    // though it still serves application calls.
-    if (!target->alive() || target->wedged() || self->Suppressed(to)) return;
-    Executor* back = c->ExecutorFor(from);
-    Micros back_arrive = c->network().FifoArrival(to, from, kProbeBytes,
-                                                  back->clock()->Now());
-    back->PostAt(back_arrive, [acked] {
-      acked->store(true, std::memory_order_release);
+  // The probe rides the same network model as application traffic — which
+  // includes the partition matrix: a severed from -> to link eats the probe,
+  // and a severed to -> from link eats the ack. Either half produces a
+  // missed probe at the prober, so asymmetric partitions surface as
+  // one-sided suspicion that the quorum rule must refuse to act on alone.
+  if (!c->network().Partitioned(from, to)) {
+    Micros arrive = c->network().FifoArrival(from, to, kProbeBytes,
+                                             to_exec->clock()->Now());
+    to_exec->PostAt(arrive, [self, c, running, from, to, acked] {
+      if (!running->load(std::memory_order_acquire)) return;
+      Silo* target = c->silo(to);
+      // Only a healthy membership agent acks: dead and wedged silos are
+      // silent, and a suppressed (gray-failing) silo is silent here even
+      // though it still serves application calls.
+      if (!target->alive() || target->wedged() || self->Suppressed(to)) return;
+      if (c->network().Partitioned(to, from)) return;  // Ack path severed.
+      Executor* back = c->ExecutorFor(from);
+      Micros back_arrive = c->network().FifoArrival(to, from, kProbeBytes,
+                                                    back->clock()->Now());
+      back->PostAt(back_arrive, [acked] {
+        acked->store(true, std::memory_order_release);
+      });
     });
-  });
+  }
   from_exec->PostAfter(opts_.probe_timeout_us,
                        [self, running, from, to, acked] {
                          if (!running->load(std::memory_order_acquire)) return;

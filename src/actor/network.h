@@ -8,6 +8,7 @@
 #include <atomic>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "actor/actor_id.h"
 #include "actor/runtime_options.h"
@@ -50,6 +51,32 @@ class NetworkModel {
     return arrival;
   }
 
+  /// Severs (or heals) the directed link from -> to. Partitions are
+  /// asymmetric: severing A -> B leaves B -> A intact, modeling one-way
+  /// reachability loss (a misconfigured route, an overloaded NIC queue).
+  /// The cluster and the membership prober consult Partitioned() before
+  /// putting anything on a remote link; a severed link silently eats
+  /// traffic the way a black-holing route does.
+  void SetPartitioned(SiloId from, SiloId to, bool severed) {
+    std::lock_guard<std::mutex> lock(part_mu_);
+    if (severed) {
+      if (severed_.insert(Channel(from, to)).second) {
+        partition_count_.fetch_add(1, std::memory_order_release);
+      }
+    } else if (severed_.erase(Channel(from, to)) > 0) {
+      partition_count_.fetch_sub(1, std::memory_order_release);
+    }
+  }
+
+  /// True if the directed link from -> to is currently severed. Lock-free
+  /// when no partition is active (the common case on the send hot path).
+  bool Partitioned(SiloId from, SiloId to) const {
+    if (partition_count_.load(std::memory_order_acquire) == 0) return false;
+    if (from == to) return false;
+    std::lock_guard<std::mutex> lock(part_mu_);
+    return severed_.count(Channel(from, to)) > 0;
+  }
+
  private:
   static uint64_t Channel(SiloId from, SiloId to) {
     return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
@@ -72,6 +99,11 @@ class NetworkModel {
   std::atomic<uint64_t> jitter_seq_{0};
   std::mutex fifo_mu_;
   std::unordered_map<uint64_t, Micros> last_arrival_;
+  /// Directed severed links (Channel-packed). The atomic count lets the
+  /// un-partitioned hot path skip the lock entirely.
+  std::atomic<int> partition_count_{0};
+  mutable std::mutex part_mu_;
+  std::unordered_set<uint64_t> severed_;
 };
 
 }  // namespace aodb

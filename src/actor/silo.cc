@@ -620,6 +620,27 @@ void Silo::Reroute(Envelope env) {
                        });
 }
 
+std::vector<ActorId> Silo::LiveActivations() const {
+  std::vector<ActorId> out;
+  if (!alive()) return out;
+  std::vector<ActivationPtr> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(catalog_.size());
+    for (const auto& [id, act] : catalog_) snapshot.push_back(act);
+  }
+  out.reserve(snapshot.size());
+  for (const auto& act : snapshot) {
+    std::lock_guard<std::mutex> lock(act->mu);
+    if (act->state == ActState::kDeactivating ||
+        act->state == ActState::kClosed) {
+      continue;
+    }
+    out.push_back(act->id);
+  }
+  return out;
+}
+
 size_t Silo::ActivationCount() const {
   std::lock_guard<std::mutex> lock(mu_);
   return catalog_.size();

@@ -110,6 +110,14 @@ class Silo {
   size_t ActivationCount() const;
   SiloStats Stats() const;
 
+  /// Ids of activations that currently CLAIM this actor's single-activation
+  /// slot: loading, idle, scheduled, or running. Closing activations
+  /// (kDeactivating/kClosed) are excluded — their directory entry may
+  /// legitimately already point at a migration target. Empty on a dead
+  /// silo. Used by the DST invariant checkers (sim/explore) to assert
+  /// exactly one live activation per actor id across the cluster.
+  std::vector<ActorId> LiveActivations() const;
+
  private:
   enum class ActState {
     kLoading,       // OnActivate in progress; messages queue up.

@@ -1,0 +1,123 @@
+// Deterministic chaos exploration (FoundationDB-style simulation testing):
+// a seeded generator composes randomized fault schedules — silo crashes and
+// restarts, unannounced wedges and gray failures, asymmetric link-level
+// partitions, message drop/duplication/corruption/reorder, transient storage
+// errors and torn writes — and each schedule runs against a full simulated
+// cluster driving an oracle workload whose correctness is checked by
+// pluggable invariants:
+//
+//   1. Exactly-one-live-activation: at every quiesce point, no actor id has
+//      a live activation on more than one silo, and every live activation is
+//      the one the directory points at (split-brain detection).
+//   2. Durable-ack conservation: every operation acked to the client is
+//      readable after the cluster heals and every activation is rebuilt from
+//      persisted state (no acked write lost).
+//   3. Monotonic sequencing: the oracle actor's replies never go backwards,
+//      across crashes, duplicated deliveries, and reordered messages.
+//   4. No leaked promises: after the run tears down, every promise that ever
+//      had a continuation attached was completed (nothing hung forever).
+//
+// A violating seed is written out as a replay artifact — the seed plus the
+// full fault schedule as JSON — which reproduces the run bit-identically
+// (same fingerprint), and delta-debugging (ddmin) shrinks the schedule to a
+// minimal set of discrete fault events that still trips the invariant.
+
+#ifndef AODB_SIM_EXPLORE_H_
+#define AODB_SIM_EXPLORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "actor/fault.h"
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace aodb {
+namespace dst {
+
+/// Shape of one exploration run: the cluster, the oracle workload, and the
+/// ceilings the schedule generator draws fault intensities from. All times
+/// are virtual (simulator) time.
+struct ExploreConfig {
+  int num_silos = 3;
+  /// Oracle actors (dst.Seq grains) driven concurrently by the client.
+  int num_actors = 8;
+  /// Target acked operations per actor; drivers stop early at the fault
+  /// window's end regardless.
+  int ops_per_actor = 12;
+  /// Gap between an ack and the next operation on the same actor.
+  Micros op_gap_us = 15 * kMicrosPerMilli;
+  /// Gap before re-submitting the SAME sequence number after a failure.
+  Micros retry_gap_us = 40 * kMicrosPerMilli;
+  /// Length of the fault window (faults are scheduled inside it; drivers
+  /// stop issuing new operations when it closes).
+  Micros duration_us = 4 * kMicrosPerSecond;
+  /// Heal-to-teardown settle: long enough for restarts, membership
+  /// convergence, and every outstanding retry chain to run dry.
+  Micros settle_us = 12 * kMicrosPerSecond;
+  /// Quiesce-point cadence of the catalog/directory invariant checker.
+  /// Deliberately finer than the idle-deactivation timeout: a split-brained
+  /// activation created by stale mail only lives until the idle scanner
+  /// reaps it (~10ms), so a coarse cadence would sample right past it.
+  Micros check_interval_us = 5 * kMicrosPerMilli;
+
+  // Generator ceilings (per-plan counts are drawn in [0, max]; per-plan
+  // probabilities in [0, max)).
+  int max_crashes = 2;
+  int max_wedges = 1;
+  int max_partitions = 2;
+  double max_drop_prob = 0.02;
+  double max_duplicate_prob = 0.02;
+  double max_corrupt_prob = 0.01;
+  double max_reorder_prob = 0.05;
+  double max_storage_error_prob = 0.10;
+  double max_torn_write_prob = 0.05;
+};
+
+/// Outcome of one scenario run.
+struct RunResult {
+  /// Human-readable invariant violations; empty means the run was clean.
+  std::vector<std::string> violations;
+  /// FNV-1a digest (hex) over the run's observable outcome: per-actor acked
+  /// and durable sequence numbers, every fault/robustness counter, and the
+  /// violation list. Two runs of the same plan must produce the same
+  /// fingerprint — this is what --replay asserts.
+  std::string fingerprint;
+  int64_t acked_ops = 0;
+  /// Quiesce-point checks executed (sanity: the checker actually ran).
+  int64_t checks_run = 0;
+};
+
+/// Draws a randomized fault schedule from `seed` under the config ceilings.
+/// Deterministic: the same (seed, config) always yields the same plan.
+FaultPlan GeneratePlan(uint64_t seed, const ExploreConfig& config);
+
+/// Runs one full scenario — simulated cluster, oracle workload, fault plan,
+/// all four invariant checkers — and reports violations + fingerprint.
+/// Deterministic for a given (plan, config).
+RunResult RunScenario(const FaultPlan& plan, const ExploreConfig& config);
+
+/// Serializes a plan as a self-contained JSON replay artifact.
+std::string PlanToJson(const FaultPlan& plan);
+
+/// Parses a replay artifact produced by PlanToJson (or hand-edited).
+Status PlanFromJson(const std::string& json, FaultPlan* out);
+
+/// Number of discrete fault events in the plan (a crash+restart pair, a
+/// wedge, or a partition sever+heal pair each count as one event).
+int CountFaultEvents(const FaultPlan& plan);
+
+/// Delta-debugging (ddmin) over the plan's discrete fault events: returns
+/// the smallest schedule found that still produces at least one violation.
+/// Probabilistic fault streams (drop/dup/corrupt/reorder/storage) are kept
+/// fixed — they are part of the seed's identity, not the schedule. Runs at
+/// most `max_runs` candidate scenarios; `shrink_runs` (optional) reports how
+/// many were actually executed.
+FaultPlan ShrinkPlan(const FaultPlan& plan, const ExploreConfig& config,
+                     int max_runs = 64, int* shrink_runs = nullptr);
+
+}  // namespace dst
+}  // namespace aodb
+
+#endif  // AODB_SIM_EXPLORE_H_

@@ -39,6 +39,18 @@ class FaultyStateStorage final : public StateStorage {
     Status fault = injector_->NextStorageFault();
     Micros delay = injector_->NextStorageDelay();
     if (!fault.ok()) return Fail<Status>(fault, delay, exec);
+    if (injector_->NextTornWrite()) {
+      // Torn write: the storage process dies mid-append and its log
+      // recovery drops the partial tail record (the contract FileKvStore's
+      // replay provides — see the torn-tail recovery tests). Net effect at
+      // this boundary: the write fails un-acked with IoError and the
+      // PREVIOUS durable snapshot stays readable. IoError is deliberately
+      // non-transient — the persistence retry loop surfaces it to the
+      // caller, whose own retry re-issues the whole write.
+      return Fail<Status>(
+          Status::IoError("torn write: tail record discarded on recovery"),
+          delay, exec);
+    }
     if (delay > 0) return Delay(inner_->Write(grain_key, std::move(bytes), exec), delay, exec);
     return inner_->Write(grain_key, std::move(bytes), exec);
   }

@@ -536,5 +536,35 @@ TEST(ChaosTest, NoAckedWriteLostAndRerunIsDeterministic) {
   EXPECT_EQ(first.silo_restarts, second.silo_restarts);
 }
 
+// --- Promise-leak gauge at Cluster::Stop -------------------------------------
+
+TEST(PromiseLeakGaugeTest, StopPublishesLeaksObservedDuringClusterLifetime) {
+  SimHarness harness{RuntimeOptions{}};
+  {
+    // A reply handler that is registered and then dropped unfulfilled —
+    // the bug class the detector exists for.
+    Promise<int> p;
+    Future<int> f = p.GetFuture();
+    f.OnReady([](Result<int>&&) {});
+  }
+  harness.cluster().Stop();
+  EXPECT_GE(
+      harness.cluster().metrics().GetGauge("runtime.leaked_promises")->value(),
+      1);
+}
+
+TEST(PromiseLeakGaugeTest, CleanShutdownReportsZeroLeaks) {
+  SimHarness harness{RuntimeOptions{}};
+  harness.cluster().RegisterActorType<VolatileCounter>();
+  auto a = harness.cluster().Ref<VolatileCounter>("c");
+  auto f = a.Call(&VolatileCounter::Add, int64_t{1});
+  harness.RunFor(kMicrosPerSecond);
+  ASSERT_TRUE(f.Ready());
+  harness.cluster().Stop();
+  EXPECT_EQ(
+      harness.cluster().metrics().GetGauge("runtime.leaked_promises")->value(),
+      0);
+}
+
 }  // namespace
 }  // namespace aodb

@@ -186,5 +186,50 @@ TEST(FutureThreadedTest, CallbacksFromManyThreadsAllFire) {
   EXPECT_EQ(fired.load(), 800);
 }
 
+// --- Promise-leak detection --------------------------------------------------
+
+TEST(PromiseLeakTest, DroppedContinuationIsCounted) {
+  const int64_t base = PromisesLeaked();
+  {
+    Promise<int> p;
+    Future<int> f = p.GetFuture();
+    f.OnReady([](Result<int>&&) { FAIL() << "never fulfilled"; });
+    // p and f die here with a continuation attached and no result set:
+    // someone was waiting and nobody ever answered.
+  }
+  EXPECT_EQ(PromisesLeaked() - base, 1);
+}
+
+TEST(PromiseLeakTest, FulfilledPromiseIsNotALeak) {
+  const int64_t base = PromisesLeaked();
+  {
+    Promise<int> p;
+    Future<int> f = p.GetFuture();
+    int got = 0;
+    f.OnReady([&got](Result<int>&& r) { got = r.value(); });
+    p.SetValue(42);
+    EXPECT_EQ(got, 42);
+  }
+  {
+    // An error is still an answer — the waiter heard back.
+    Promise<int> p;
+    Future<int> f = p.GetFuture();
+    f.OnReady([](Result<int>&&) {});
+    p.SetError(Status::Timeout("late"));
+  }
+  EXPECT_EQ(PromisesLeaked() - base, 0);
+}
+
+TEST(PromiseLeakTest, AbandonedFutureWithoutWaiterIsNotALeak) {
+  const int64_t base = PromisesLeaked();
+  {
+    // Futures are routinely dropped on purpose (fire-and-forget Tell
+    // plumbing); with no continuation registered, nobody was waiting.
+    Promise<int> p;
+    Future<int> f = p.GetFuture();
+  }
+  EXPECT_EQ(PromisesLeaked() - base, 0);
+}
+
 }  // namespace
 }  // namespace aodb

@@ -390,6 +390,58 @@ TEST_F(MembershipTest, GrayFailingSiloIsEvictedWhileStillServing) {
   EXPECT_EQ(after.value(), 4);
 }
 
+// --- Asymmetric partition ----------------------------------------------------
+
+TEST_F(MembershipTest, AsymmetricPartitionDoesNotEvictAHealthySilo) {
+  auto refs = SeedCounters(6);
+  MembershipService* m = harness_.cluster().membership();
+  ASSERT_NE(m, nullptr);
+
+  // Sever ONLY silo 0 -> silo 1: silo 0's probes (and probe acks riding the
+  // reverse path) die, so silo 0 files a suspicion against silo 1. But
+  // silo 1 is healthy — it heartbeats its lease, answers silo 2's probes,
+  // and serves traffic. One gray link must not get it killed: eviction
+  // needs a quorum of independent suspectors (or a dead lease), and this
+  // view has exactly one.
+  harness_.cluster().network().SetPartitioned(0, 1, true);
+  harness_.RunFor(6 * kMicrosPerSecond);
+
+  EXPECT_GT(m->stats().probes_missed, 0)
+      << "the severed link must actually eat probes";
+  EXPECT_GT(m->stats().suspicions_filed, 0)
+      << "silo 0 must suspect the silo it cannot reach";
+  EXPECT_EQ(m->stats().evictions, 0)
+      << "a single suspector must never evict a lease-holding silo";
+  for (SiloId i = 0; i < 3; ++i) {
+    EXPECT_TRUE(harness_.cluster().SiloAlive(i))
+        << "silo " << i << " wrongly declared dead — views diverged";
+    auto lease = m->ReadLease(i);
+    ASSERT_TRUE(lease.ok()) << lease.status().ToString();
+    EXPECT_GT(lease.value().expiry_us, harness_.Now())
+        << "silo " << i << " must still be renewing its lease";
+  }
+
+  // The partitioned link carries application traffic too, but every actor
+  // stays reachable: calls route via the directory, and retries/failover
+  // cover the severed pairs. Spot-check a few counters end to end.
+  for (int i = 0; i < 6; ++i) {
+    auto v = Settle(refs[i].Call(&MbrCounter::Value));
+    ASSERT_TRUE(v.ok()) << "c" << i << ": " << v.status().ToString();
+    EXPECT_EQ(v.value(), i + 1);
+  }
+
+  // Heal the link: the prober's standing vote is withdrawn, and the view
+  // converges back to fully-healthy with no eviction ever having fired.
+  harness_.cluster().network().SetPartitioned(0, 1, false);
+  harness_.RunFor(4 * kMicrosPerSecond);
+  EXPECT_GT(m->stats().suspicions_withdrawn, 0)
+      << "healed link must retract the standing suspicion vote";
+  EXPECT_EQ(m->stats().evictions, 0);
+  for (SiloId i = 0; i < 3; ++i) {
+    EXPECT_TRUE(harness_.cluster().SiloAlive(i));
+  }
+}
+
 TEST_F(MembershipTest, RestartBumpsIncarnationAndRenewsLease) {
   MembershipService* m = harness_.cluster().membership();
   ASSERT_NE(m, nullptr);

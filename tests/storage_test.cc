@@ -11,6 +11,7 @@
 #include "actor/actor_ref.h"
 #include "sim/sim_harness.h"
 #include "storage/cloud_kv.h"
+#include "storage/faulty_storage.h"
 #include "storage/file_kv.h"
 #include "storage/mem_kv.h"
 #include "storage/persistent_actor.h"
@@ -148,6 +149,40 @@ TEST(FileKvTest, CorruptedRecordStopsReplayAtCorruption) {
   EXPECT_EQ(reopened.value()->Get("first").value(), "1");
   EXPECT_TRUE(reopened.value()->Get("second").status().IsNotFound())
       << "corrupted record must not replay";
+}
+
+TEST(FileKvTest, TruncatedMidRecordTailIsDroppedOnRecovery) {
+  TempDir dir;
+  {
+    auto kv = std::move(FileKvStore::Open(dir.str()).value());
+    ASSERT_TRUE(kv->Put("first", "1").ok());
+    ASSERT_TRUE(kv->Put("second", std::string(64, 's')).ok());
+    kv->Close();
+  }
+  std::string seg;
+  for (const auto& e : fs::directory_iterator(dir.str())) {
+    seg = e.path().string();
+  }
+  // Crash mid-append: the file ends partway through the second record's
+  // payload (a short write, not appended garbage). Recovery must keep the
+  // first record, drop the torn tail, and leave a usable store.
+  auto size = fs::file_size(seg);
+  fs::resize_file(seg, size - 17);
+  {
+    auto reopened = FileKvStore::Open(dir.str());
+    ASSERT_TRUE(reopened.ok()) << "short write must not fail recovery";
+    auto& kv = *reopened.value();
+    EXPECT_EQ(kv.Get("first").value(), "1");
+    EXPECT_TRUE(kv.Get("second").status().IsNotFound())
+        << "the torn record was never durable";
+    ASSERT_TRUE(kv.Put("third", "3").ok()) << "store must accept new writes";
+    kv.Close();
+  }
+  auto again = FileKvStore::Open(dir.str());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value()->Get("first").value(), "1");
+  EXPECT_EQ(again.value()->Get("third").value(), "3")
+      << "writes after torn-tail recovery must be durable";
 }
 
 TEST(FileKvTest, CompactionShrinksLogAndPreservesData) {
@@ -381,6 +416,46 @@ TEST_F(PersistencePolicyTest, OnDeactivateWritesOnlyAtDeactivation) {
   auto v = c.Call(&DeactivateCounter::Value);
   harness_.RunFor(kMicrosPerSecond);
   EXPECT_EQ(v.Get().value(), 50);
+}
+
+// --- FaultyStateStorage: torn writes -----------------------------------------
+
+TEST(FaultyStorageTornWriteTest, TornWriteFailsUnackedAndKeepsPriorSnapshot) {
+  SimHarness harness{RuntimeOptions{}};
+  Executor* exec = harness.client_executor();
+  auto backing = std::make_shared<MemKvStore>();
+  auto inner = std::make_shared<KvStateStorage>(backing.get());
+
+  // Establish a durable snapshot through the clean path.
+  auto seeded = inner->Write("grain/dst/x", "v1", exec);
+  harness.RunFor(kMicrosPerSecond);
+  ASSERT_TRUE(seeded.Ready());
+  ASSERT_TRUE(seeded.Get().ok() && seeded.Get().value().ok());
+
+  FaultPlan plan;
+  plan.storage.torn_write_prob = 1.0;
+  FaultInjector injector(plan);
+  FaultyStateStorage faulty(inner, &injector);
+
+  // Every write tears: it must fail un-acked, with a non-transient error
+  // (the persistence retry loop must not spin on it — the record is gone).
+  auto torn = faulty.Write("grain/dst/x", "v2", exec);
+  harness.RunFor(kMicrosPerSecond);
+  ASSERT_TRUE(torn.Ready());
+  Result<Status> r = torn.Get();
+  Status st = r.ok() ? r.value() : r.status();
+  ASSERT_FALSE(st.ok()) << "a torn write must never be acked";
+  EXPECT_FALSE(IsTransient(st))
+      << "torn writes are not retryable in place: " << st.ToString();
+  EXPECT_EQ(injector.torn_writes(), 1);
+
+  // The previous durable snapshot is untouched — recovery dropped only the
+  // torn tail record, exactly FileKvStore's contract.
+  auto read = faulty.Read("grain/dst/x", exec);
+  harness.RunFor(kMicrosPerSecond);
+  ASSERT_TRUE(read.Ready());
+  ASSERT_TRUE(read.Get().ok()) << read.Get().status().ToString();
+  EXPECT_EQ(read.Get().value(), "v1");
 }
 
 }  // namespace
