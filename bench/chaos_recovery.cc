@@ -36,6 +36,7 @@
 #include "common/histogram.h"
 #include "common/table_printer.h"
 #include "shm/platform.h"
+#include "shm_bench_util.h"
 #include "sim/sim_harness.h"
 #include "storage/faulty_storage.h"
 #include "storage/mem_kv.h"
@@ -55,6 +56,8 @@ struct ModeResult {
   int64_t dropped = 0;
   int64_t storage_errors = 0;
   Micros total_time = 0;
+  /// End-of-run registry snapshot (what --metrics-json exports per mode).
+  MetricsSnapshot metrics;
   bool ok = false;
 };
 
@@ -189,6 +192,7 @@ ModeResult RunMode(const Mode& mode) {
   out.client_retries = platform.insert_retries();
   out.dropped = injector.messages_dropped();
   out.storage_errors = injector.storage_errors();
+  out.metrics = harness.SnapshotMetrics();
   out.ok = true;
   return out;
 }
@@ -229,6 +233,8 @@ struct DetectorResult {
   int64_t dead_letters = 0;
   int64_t deadline_timeouts = 0;
   int64_t failover_resubmitted = 0;
+  /// Last trial's end-of-run registry snapshot (--metrics-json export).
+  MetricsSnapshot metrics;
 };
 
 /// One seeded trial: wedge (or gray-fail) silo 1 with reads in flight and
@@ -326,6 +332,7 @@ bool RunDetectorTrial(bool suppress_only, uint64_t seed, DetectorResult* out) {
   out->dead_letters += counters.dead_letters;
   out->deadline_timeouts += counters.deadline_timeouts;
   out->failover_resubmitted += counters.failover_resubmitted;
+  out->metrics = harness.SnapshotMetrics();
   ++out->trials;
   return true;
 }
@@ -333,9 +340,11 @@ bool RunDetectorTrial(bool suppress_only, uint64_t seed, DetectorResult* out) {
 }  // namespace
 }  // namespace aodb::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aodb;
   using namespace aodb::bench;
+
+  MetricsJsonWriter metrics_json(MetricsJsonPathFromArgs(argc, argv));
 
   std::printf("=== Chaos recovery: SHM ingestion through silo crash ===\n");
   std::printf(
@@ -357,6 +366,7 @@ int main() {
       std::fprintf(stderr, "mode %s failed setup\n", mode.name);
       return 1;
     }
+    metrics_json.Add(std::string("chaos:") + mode.name, r.metrics);
     table.AddRow({mode.name, TablePrinter::Fmt(r.acked),
                   TablePrinter::Fmt(r.failed),
                   TablePrinter::Fmt(r.lost_acked_points),
@@ -399,6 +409,7 @@ int main() {
         return 1;
       }
     }
+    metrics_json.Add(std::string("detector:") + sc.name, r.metrics);
     det_table.AddRow(
         {sc.name, TablePrinter::Fmt(static_cast<int64_t>(r.trials)),
          TablePrinter::Fmt(static_cast<int64_t>(r.evictions)),
@@ -415,5 +426,6 @@ int main() {
       "\nperiods + timeout) in both scenarios. A full wedge recovers via"
       "\nfailover shortly after eviction; a gray failure 'recovers'"
       "\nimmediately because the silo never stopped serving reads.\n");
+  if (!metrics_json.Write()) return 1;
   return 0;
 }

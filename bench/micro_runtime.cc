@@ -120,12 +120,16 @@ BENCHMARK(BM_RealModeTellThroughput)
 /// tells and waits for every one to be PROCESSED, so the rate includes the
 /// full schedule/dispatch path, not just the enqueue. This is the headline
 /// same-silo hot-path number (`range(0)` workers, `range(1)` actors).
-void BM_RealModeTellDrain(benchmark::State& state) {
+/// `with_recorder` toggles the flight recorder so bench_compare.sh can
+/// report its hot-path overhead (the recorder is on by default in
+/// production, so the ON variant is the headline number).
+void RunTellDrain(benchmark::State& state, bool with_recorder) {
   RuntimeOptions options;
   options.num_silos = 1;
   options.workers_per_silo = static_cast<int>(state.range(0));
   options.network.client_latency_us = 0;
   options.network.jitter_us = 0;
+  options.observability.enable_flight_recorder = with_recorder;
   RealClusterHandle handle(options);
   handle->RegisterActorType<BenchCounter>();
   const int actors = static_cast<int>(state.range(1));
@@ -161,8 +165,22 @@ void BM_RealModeTellDrain(benchmark::State& state) {
   state.counters["tasks_run"] =
       static_cast<double>(snap.gauges.at("executor.tasks_run"));
 }
+
+void BM_RealModeTellDrain(benchmark::State& state) {
+  RunTellDrain(state, /*with_recorder=*/true);
+}
 BENCHMARK(BM_RealModeTellDrain)
     ->Args({2, 1})
+    ->Args({8, 16})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Recorder-off control for the flight_recorder_overhead ratio; compared
+/// against BM_RealModeTellDrain/8/16 by bench_compare.sh.
+void BM_RealModeTellDrainNoRecorder(benchmark::State& state) {
+  RunTellDrain(state, /*with_recorder=*/false);
+}
+BENCHMARK(BM_RealModeTellDrainNoRecorder)
     ->Args({8, 16})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);

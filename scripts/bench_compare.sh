@@ -14,6 +14,24 @@ out="${1:-BENCH_runtime.json}"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
+# Refuse to overwrite a snapshot taken on different hardware: wall-clock
+# numbers are not comparable across core counts, and a silently re-baselined
+# file makes every later before/after diff a lie. Re-baseline deliberately
+# with BENCH_ALLOW_HOST_MISMATCH=1.
+if [[ -f "$out" && "${BENCH_ALLOW_HOST_MISMATCH:-0}" != 1 ]]; then
+  prev_cores="$(python3 -c \
+    'import json,sys; print(json.load(open(sys.argv[1])).get("host_cores",""))' \
+    "$out" 2>/dev/null || true)"
+  cur_cores="$(python3 -c 'import os; print(os.cpu_count())')"
+  if [[ -n "$prev_cores" && "$prev_cores" != "$cur_cores" ]]; then
+    echo "bench_compare: REFUSING to overwrite $out:" >&2
+    echo "bench_compare:   last snapshot ran on $prev_cores cores; this host has $cur_cores." >&2
+    echo "bench_compare:   Cross-hardware numbers are not comparable. Set" >&2
+    echo "bench_compare:   BENCH_ALLOW_HOST_MISMATCH=1 to re-baseline anyway." >&2
+    exit 1
+  fi
+fi
+
 cmake -B build -S . >/dev/null
 cmake --build build -j --target micro_runtime fig6_single_server \
   flash_crowd >/dev/null
@@ -106,6 +124,17 @@ def git(*args):
     except Exception:
         return ""
 
+def micro_time(name):
+    for m in micro:
+        if m["name"] == name:
+            return m.get("real_time_ns") or 0.0
+    return 0.0
+
+# Flight-recorder hot-path overhead: headline TellDrain with the recorder
+# on (the production default) vs the recorder-off control. Target <= 0.02.
+drain_on = micro_time("BM_RealModeTellDrain/8/16/real_time")
+drain_off = micro_time("BM_RealModeTellDrainNoRecorder/8/16/real_time")
+
 snapshot = {
     "commit": git("rev-parse", "--short", "HEAD"),
     "date": git("show", "-s", "--format=%cI", "HEAD"),
@@ -119,6 +148,9 @@ snapshot = {
     "flash_crowd_p99_ratio": (
         round(flash_p99("skewed, managed") / flash_p99("uniform, managed"), 3)
         if flash_p99("uniform, managed") > 0 else 0.0),
+    # Fractional slowdown of the headline drain bench with the recorder on.
+    "flight_recorder_overhead": (
+        round(drain_on / drain_off - 1.0, 4) if drain_off > 0 else 0.0),
 }
 with open(out_path, "w") as f:
     json.dump(snapshot, f, indent=2)

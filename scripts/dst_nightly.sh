@@ -5,10 +5,14 @@
 # invariants: exactly-one-live-activation, durable-ack write conservation,
 # monotonic oracle reads, and zero leaked promises at shutdown.
 #
-# A violating seed leaves two artifacts under the artifact directory:
-#   seed-<N>.json      the full fault schedule (replayable, bit-identical)
-#   seed-<N>.min.json  the ddmin-minimized schedule for the same violation
-# Reproduce either with:  ./build/tests/dst_explore --replay=<artifact>
+# A violating seed leaves three artifacts under the artifact directory:
+#   seed-<N>.json         the full fault schedule (replayable, bit-identical)
+#   seed-<N>.min.json     the ddmin-minimized schedule for the same violation
+#   seed-<N>.bundle.json  the postmortem bundle from the violating run:
+#                         merged flight events, metrics timeline, sampled
+#                         spans, membership view, per-silo hot actors
+# Reproduce a schedule with:  ./build/tests/dst_explore --replay=<artifact>
+# (replay re-writes the bundle next to the artifact, bit-identical)
 #
 # Usage: scripts/dst_nightly.sh [seeds] [base-seed]
 #   seeds       number of seeds to sweep (default 5000)

@@ -28,14 +28,15 @@ DST_SEEDS="${DST_SEEDS:-200}"
 ASAN_TESTS=(
   fault_injection_test aodb_features_test storage_test
   real_mode_stress_test wire_registry_test membership_test
-  telemetry_test scheduler_test overload_test
+  telemetry_test scheduler_test overload_test observability_test
 )
 # TSan leg: data races in the membership agents, eviction/failover paths,
-# real-mode thread pools, the concurrent telemetry recorders, and the
-# overload/migration machinery (ASan and TSan cannot share a build).
+# real-mode thread pools, the concurrent telemetry recorders, the flight
+# recorder, and the overload/migration machinery (ASan and TSan cannot
+# share a build).
 TSAN_TESTS=(
   membership_test fault_injection_test real_mode_stress_test
-  telemetry_test scheduler_test overload_test
+  telemetry_test scheduler_test overload_test observability_test
 )
 
 # Joins a test list into the anchored regex ctest -R expects.
@@ -83,6 +84,33 @@ if [[ "$run_dst" == 1 ]]; then
     echo "tier1:   ./build/tests/dst_explore --replay=<artifact.json>" >&2
     exit 1
   fi
+  # Bundle sanity: force a synthetic invariant violation (the checker
+  # self-test) and assert the postmortem bundle is written, parses as JSON,
+  # and contains the violating actor's lifecycle transitions.
+  bundle_dir=build/dst_bundle_sanity
+  rm -rf "$bundle_dir"
+  if ./build/tests/dst_explore --force-violation --seeds=1 --no-shrink \
+      --artifact-dir="$bundle_dir" >/dev/null; then
+    echo "tier1: ERROR: --force-violation run reported no violation" >&2
+    exit 1
+  fi
+  python3 - "$bundle_dir/seed-1.bundle.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    bundle = json.load(f)
+assert bundle["schema"] == "aodb.postmortem.v1", bundle.get("schema")
+assert "forced: synthetic" in bundle["reason"], bundle["reason"]
+events = bundle["flight_events"]
+kinds = {e["type"] for e in events if e["actor"] == "dst.Seq/s0"}
+assert "activate" in kinds, f"no activate for dst.Seq/s0: {sorted(kinds)}"
+assert "deactivate" in kinds, f"no deactivate for dst.Seq/s0: {sorted(kinds)}"
+assert isinstance(bundle["metrics_timeline"], list)
+assert isinstance(bundle["membership"], list) and bundle["membership"]
+assert isinstance(bundle["hot_actors"], list)
+print(f"tier1: bundle sanity OK ({len(events)} flight events; "
+      f"violating-actor kinds: {sorted(kinds)})")
+EOF
 else
   echo "tier1: skipping dst sweep (--no-dst)"
 fi

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 #include "actor/fault.h"
 #include "actor/membership.h"
@@ -24,6 +25,10 @@ Cluster::Cluster(const RuntimeOptions& options,
       system_kv_(system_kv),
       tracer_(options.num_silos, options.trace.sample_every,
               options.trace.ring_capacity, &metrics_),
+      flight_(options.num_silos, options.observability.enable_flight_recorder,
+              options.observability.flight_ring_capacity, &metrics_),
+      timeline_(static_cast<size_t>(
+          std::max(1, options.observability.metrics_timeline_capacity))),
       directory_(options.num_silos, options.default_placement,
                  options.seed ^ 0x5a5a5a5aULL),
       network_(options.network, options.seed ^ 0xc3c3c3c3ULL) {
@@ -110,11 +115,14 @@ StateStorage* Cluster::GetStateStorage(const std::string& name) const {
 
 void Cluster::Send(Envelope env) {
   SiloId from = env.caller_silo;
-  if (env.deadline_us > 0 &&
-      ExecutorFor(from)->clock()->Now() > env.deadline_us) {
+  Micros now = ExecutorFor(from)->clock()->Now();
+  if (env.deadline_us > 0 && now > env.deadline_us) {
     // Already past its deadline (e.g. a failover re-submission after a long
     // backoff): don't put it on the wire at all.
     NoteDeadlineExpired();
+    flight_.Record(FlightEventType::kDeadlineTimeout, from,
+                   env.target.ToString(), env.trace.trace_id,
+                   now - env.deadline_us, now);
     if (env.trace.sampled) {
       AODB_LOG(Warn, "dropping expired send to %s (trace %llu)",
                env.target.ToString().c_str(),
@@ -634,6 +642,97 @@ void Cluster::StartOverloadController() {
   exec->PostAfter(interval, [tick] { (*tick)(); });
 }
 
+void Cluster::StartMetricsSampler() {
+  Micros interval = options_.observability.metrics_sample_interval_us;
+  if (interval <= 0) return;
+  auto alive = std::make_shared<bool>(true);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sampler_alive_) *sampler_alive_ = false;
+    sampler_alive_ = alive;
+  }
+  // Same weak-self periodic-loop shape as reminders: the sampler ticks on
+  // the client-node executor (cluster-wide, off the silo hot paths).
+  Executor* exec = client_executor_;
+  Cluster* self = this;
+  auto tick = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak_tick = tick;
+  *tick = [self, exec, interval, alive, weak_tick]() {
+    if (!*alive) return;
+    self->timeline_.Record(exec->clock()->Now(), self->SnapshotMetrics());
+    if (auto next = weak_tick.lock()) {
+      exec->PostAfter(interval, [next] { (*next)(); });
+    }
+  };
+  exec->PostAfter(interval, [tick] { (*tick)(); });
+}
+
+std::string Cluster::BuildPostmortemJson(const std::string& reason) const {
+  Micros now = client_executor_->clock()->Now();
+  std::string out = "{\"schema\":\"aodb.postmortem.v1\",";
+  out += "\"reason\":\"" + JsonEscape(reason) + "\",";
+  out += "\"at_us\":" + std::to_string(now) + ",";
+  out += "\"membership\":[";
+  for (int i = 0; i < static_cast<int>(silos_.size()); ++i) {
+    if (i > 0) out += ',';
+    Silo* s = silos_[i].get();
+    out += "{\"silo\":" + std::to_string(i);
+    out += std::string(",\"alive\":") + (s->alive() ? "true" : "false");
+    out += std::string(",\"wedged\":") + (s->wedged() ? "true" : "false");
+    if (membership_) {
+      out += ",\"incarnation\":" + std::to_string(membership_->Incarnation(i));
+      out +=
+          ",\"suspicions\":" + std::to_string(membership_->SuspicionCount(i));
+      auto lease = membership_->ReadLease(i);
+      if (lease.ok()) {
+        out +=
+            ",\"lease_expiry_us\":" + std::to_string(lease.value().expiry_us);
+      }
+    }
+    out += '}';
+  }
+  out += "],\"hot_actors\":[";
+  for (int i = 0; i < static_cast<int>(silos_.size()); ++i) {
+    if (i > 0) out += ',';
+    Silo* s = silos_[i].get();
+    out += "{\"silo\":" + std::to_string(i);
+    out += ",\"queued\":" + std::to_string(s->QueuedEnvelopes());
+    out += ",\"activations\":" + std::to_string(s->ActivationCount());
+    out += ",\"top\":[";
+    std::vector<Silo::HotActivation> top = s->TopActivations(8);
+    for (size_t k = 0; k < top.size(); ++k) {
+      if (k > 0) out += ',';
+      out += "{\"actor\":\"" + JsonEscape(top[k].id.ToString()) +
+             "\",\"depth\":" + std::to_string(top[k].depth) + "}";
+    }
+    out += "]}";
+  }
+  out += "],\"flight_events\":";
+  FlightRecorder::AppendEventsJson(flight_.Collect(), &out);
+  out += ",\"metrics_timeline\":" + timeline_.ToJson();
+  out += ",\"metrics\":" + SnapshotMetrics().ToJson();
+  out += ",\"traces\":" + tracer_.DumpJson();
+  out += '}';
+  return out;
+}
+
+Status Cluster::DumpPostmortem(const std::string& path,
+                               const std::string& reason) const {
+  std::string bundle = BuildPostmortemJson(reason);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot write postmortem bundle to " + path);
+  }
+  size_t n = std::fwrite(bundle.data(), 1, bundle.size(), f);
+  std::fclose(f);
+  if (n != bundle.size()) {
+    return Status::IoError("short write of postmortem bundle to " + path);
+  }
+  AODB_LOG(Warn, "postmortem bundle written to %s (%s)", path.c_str(),
+           reason.c_str());
+  return Status::OK();
+}
+
 void Cluster::RebalanceHotActors() {
   // Instantaneous queued counts are noisy — one arrival burst can make the
   // steady-state-coolest silo sample as the hottest for a single scan — so
@@ -764,6 +863,8 @@ void Cluster::EvictInternal(SiloId id, const std::string& reason,
   if (!silos_[id]->alive()) return;
   AODB_LOG(Warn, "%s silo %d (%s)", automatic ? "evicting" : "killing",
            static_cast<int>(id), reason.c_str());
+  flight_.Record(FlightEventType::kEvict, id, reason, /*trace_id=*/0,
+                 /*detail=*/automatic ? 1 : 0, clock()->Now());
   // Order matters: stop placing on the silo, then purge its registrations
   // (so no new route can observe the dead silo through a fresh directory
   // entry), then fail over pending calls, and only THEN fail its queued
@@ -824,6 +925,9 @@ void Cluster::FailoverPendingCalls(SiloId dead) {
     Executor* exec = ExecutorFor(env.caller_silo);
     if (backoff) {
       failover_resubmitted_->Add();
+      flight_.Record(FlightEventType::kFailoverResubmit, dead,
+                     env.target.ToString(), env.trace.trace_id,
+                     env.failover_attempts, clock()->Now());
       AODB_LOG(Info,
                "failing over idempotent call to %s (attempt %d, backoff "
                "%lld us, trace %llu)",
@@ -836,6 +940,9 @@ void Cluster::FailoverPendingCalls(SiloId dead) {
       });
     } else {
       failover_failed_->Add();
+      flight_.Record(FlightEventType::kFailoverFailed, dead,
+                     env.target.ToString(), env.trace.trace_id,
+                     env.failover_attempts, clock()->Now());
       Status st = Status::Unavailable(
           pc.idempotent
               ? "silo evicted; failover retries exhausted"
@@ -853,6 +960,8 @@ void Cluster::FailoverPendingCalls(SiloId dead) {
 void Cluster::RestartSilo(SiloId id) {
   if (id < 0 || id >= num_silos() || silos_[id]->alive()) return;
   AODB_LOG(Info, "restarting silo %d", static_cast<int>(id));
+  flight_.Record(FlightEventType::kRestart, id, "", /*trace_id=*/0,
+                 /*detail=*/0, clock()->Now());
   silos_[id]->Restart();
   directory_.SetSiloLive(id, true);
   if (membership_) membership_->NoteRestarted(id);
@@ -865,6 +974,7 @@ bool Cluster::SiloAlive(SiloId id) const {
 }
 
 void Cluster::Stop() {
+  int64_t leaked = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopped_) return;
@@ -873,7 +983,7 @@ void Cluster::Stop() {
     // continuation during this cluster's lifetime. Non-zero means some path
     // dropped a reply handler without completing it — the hang-forever bug
     // class the deadline watchdogs exist to paper over.
-    int64_t leaked = PromisesLeaked() - promise_leak_baseline_;
+    leaked = PromisesLeaked() - promise_leak_baseline_;
     metrics_.GetGauge("runtime.leaked_promises")->Set(leaked);
     if (leaked > 0) {
       AODB_LOG(Warn, "%lld promise(s) leaked during this cluster's lifetime",
@@ -881,11 +991,24 @@ void Cluster::Stop() {
     }
     if (scanner_alive_) *scanner_alive_ = false;
     if (overload_alive_) *overload_alive_ = false;
+    if (sampler_alive_) *sampler_alive_ = false;
     for (auto& [key, entry] : reminders_) {
       if (entry.alive) *entry.alive = false;
     }
   }
   if (membership_) membership_->Stop();
+  if (leaked > 0 && !options_.observability.postmortem_path.empty()) {
+    // A leak is exactly the failure the flight recorder exists for: ship
+    // the black box. Runs after mu_ is released (bundle building takes
+    // silo/activation locks) and after background agents are stopped.
+    Status st = DumpPostmortem(
+        options_.observability.postmortem_path,
+        "cluster stopped with " + std::to_string(leaked) +
+            " leaked promise(s)");
+    if (!st.ok()) {
+      AODB_LOG(Warn, "postmortem dump failed: %s", st.ToString().c_str());
+    }
+  }
 }
 
 size_t Cluster::TotalActivations() const {

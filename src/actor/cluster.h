@@ -17,6 +17,7 @@
 #include "actor/actor.h"
 #include "actor/directory.h"
 #include "actor/envelope.h"
+#include "actor/flight_recorder.h"
 #include "actor/network.h"
 #include "actor/runtime_options.h"
 #include "actor/silo.h"
@@ -277,6 +278,36 @@ class Cluster {
   /// The trace collector (enabled iff options.trace.sample_every > 0).
   Tracer& tracer() { return tracer_; }
 
+  /// The black-box flight recorder (enabled by default; see
+  /// ObservabilityOptions::enable_flight_recorder).
+  FlightRecorder& flight_recorder() { return flight_; }
+  const FlightRecorder& flight_recorder() const { return flight_; }
+
+  /// All buffered flight events, merged and time-ordered across silos, as
+  /// JSON (see FlightRecorder::DumpJson).
+  std::string DumpFlightJson() const { return flight_.DumpJson(); }
+
+  /// The metrics time-series the background sampler records into (tests and
+  /// benches may also Record explicit samples).
+  MetricsTimeline& metrics_timeline() { return timeline_; }
+
+  /// Starts the background metrics sampler on the client-node executor
+  /// (no-op unless options.observability.metrics_sample_interval_us > 0):
+  /// every interval it records a SnapshotMetrics() delta into the timeline.
+  void StartMetricsSampler();
+
+  /// One self-describing postmortem bundle: recent flight events (merged,
+  /// time-ordered), the metrics timeline, a final metrics snapshot, sampled
+  /// spans, per-silo hot-actor summaries (queue depth, top activations),
+  /// and the membership view. Deterministic under the simulator, so DST
+  /// replays produce bit-identical bundles.
+  std::string BuildPostmortemJson(const std::string& reason) const;
+
+  /// Writes BuildPostmortemJson(reason) to `path` (logged at Warn so the
+  /// bundle is discoverable next to the failure that triggered it).
+  Status DumpPostmortem(const std::string& path,
+                        const std::string& reason) const;
+
   /// Registry snapshot with point-in-time runtime gauges (activation and
   /// message totals) refreshed first.
   MetricsSnapshot SnapshotMetrics() const;
@@ -361,9 +392,11 @@ class Cluster {
   SystemKv* system_kv_;
 
   /// Declared before every subsystem that registers metrics or records
-  /// spans, so it outlives all of them.
+  /// spans/flight events, so it outlives all of them.
   MetricsRegistry metrics_;
   Tracer tracer_;
+  FlightRecorder flight_;
+  MetricsTimeline timeline_;
 
   Directory directory_;
   NetworkModel network_;
@@ -420,6 +453,7 @@ class Cluster {
   std::unordered_map<std::string, ReminderEntry> reminders_;
   std::shared_ptr<bool> scanner_alive_;
   std::shared_ptr<bool> overload_alive_;
+  std::shared_ptr<bool> sampler_alive_;
   /// Process-wide PromisesLeaked() at construction; Stop() publishes the
   /// lifetime delta as the "runtime.leaked_promises" gauge, so a run that
   /// dropped a continuation on the floor is visible in the registry.

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "actor/executor.h"
+#include "actor/flight_recorder.h"
 #include "actor/future.h"
 #include "actor/trace.h"
 #include "common/retry.h"
@@ -38,6 +39,11 @@ struct RetryLoop {
   /// every attempt so retries (which run from backoff timers, off the
   /// original thread context) stay in the caller's trace.
   TraceContext trace_ctx;
+  /// Flight-recorder scope captured at creation: a loop constructed inside
+  /// an actor turn (or lifecycle hook) records a "retry_exhausted" flight
+  /// event against the hosting silo when it gives up. Client-side loops
+  /// capture a null recorder and record nothing.
+  FlightScope flight;
   std::function<Future<T>()> op;
   std::function<bool(const Status&)> retryable;
   std::function<void(const Status&)> on_retry;
@@ -47,7 +53,8 @@ struct RetryLoop {
       : exec(e),
         retry(policy, seed),
         start_us(e->clock()->Now()),
-        trace_ctx(CurrentTraceContext()) {}
+        trace_ctx(CurrentTraceContext()),
+        flight(CurrentFlightScopeSlot()) {}
 
   static void Attempt(std::shared_ptr<RetryLoop<T>> loop) {
     Future<T> attempt = [&loop] {
@@ -63,6 +70,12 @@ struct RetryLoop {
       Micros elapsed = loop->exec->clock()->Now() - loop->start_us;
       std::optional<Micros> backoff = loop->retry.NextBackoff(elapsed);
       if (!backoff.has_value()) {
+        if (loop->flight.recorder != nullptr) {
+          loop->flight.recorder->Record(
+              FlightEventType::kRetryExhausted, loop->flight.silo,
+              /*actor=*/"", loop->trace_ctx.trace_id, loop->retry.attempts(),
+              loop->exec->clock()->Now());
+        }
         loop->promise.SetResult(std::move(r));
         return;
       }

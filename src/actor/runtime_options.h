@@ -5,6 +5,7 @@
 #define AODB_ACTOR_RUNTIME_OPTIONS_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/clock.h"
 #include "common/retry.h"
@@ -130,6 +131,30 @@ struct OverloadOptions {
   Micros migration_cooldown_us = 2 * kMicrosPerSecond;
 };
 
+/// Observability plane: the black-box flight recorder, the background
+/// metrics time-series sampler, and postmortem bundles (see DESIGN.md
+/// "Observability plane"). The recorder is ON by default — recording is a
+/// relaxed fetch_add plus a fixed-size slot store, cheap enough to stay
+/// enabled in production (see EXPERIMENTS.md overhead table).
+struct ObservabilityOptions {
+  /// Master switch of the flight recorder. Off → Record is a branch.
+  bool enable_flight_recorder = true;
+  /// Flight-record slots per silo ring (rounded up to a power of two).
+  /// Oldest events are overwritten on wrap.
+  int flight_ring_capacity = 1024;
+  /// Cadence of the background metrics sampler (0 = sampler off, the
+  /// default — figure benches must stay bit-identical). When set,
+  /// Cluster::StartMetricsSampler records a MetricsSnapshot delta into the
+  /// timeline every interval.
+  Micros metrics_sample_interval_us = 0;
+  /// Bounded length of the metrics timeline (oldest samples fall off).
+  int metrics_timeline_capacity = 256;
+  /// When non-empty, Cluster::Stop writes a postmortem bundle here if the
+  /// run leaked promises (the hang-forever bug class); explicit
+  /// Cluster::DumpPostmortem(path) works regardless.
+  std::string postmortem_path;
+};
+
 /// Activation lifecycle management (idle deactivation scanner).
 struct LifecycleOptions {
   /// When true, silos periodically deactivate idle actors (persisting their
@@ -164,6 +189,7 @@ struct RuntimeOptions {
   LifecycleOptions lifecycle;
   OverloadOptions overload;
   TraceOptions trace;
+  ObservabilityOptions observability;
   /// Turns whose measured execution time exceeds this are logged at WARN
   /// with their actor, duration, and trace id (0 = never). Only meaningful
   /// under the real executor; the simulator charges cost up front, so

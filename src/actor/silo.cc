@@ -59,6 +59,10 @@ void Silo::Deliver(Envelope env) {
                        : shed_hard_watermark_;
     if (queued >= mark) {
       cluster_->NoteShed(env.priority);
+      cluster_->flight_recorder().Record(FlightEventType::kShed, id_,
+                                         env.target.ToString(),
+                                         env.trace.trace_id, queued,
+                                         env.enqueue_us);
       if (env.trace.sampled) {
         AODB_LOG(Warn,
                  "silo %d shedding %s send to %s (%lld queued, trace %llu)",
@@ -151,6 +155,10 @@ void Silo::Deliver(Envelope env) {
   }
   if (mailbox_full) {
     cluster_->NoteMailboxReject();
+    cluster_->flight_recorder().Record(FlightEventType::kMailboxReject, id_,
+                                       env.target.ToString(),
+                                       env.trace.trace_id, depth,
+                                       env.enqueue_us);
     if (env.trace.sampled) {
       AODB_LOG(Warn,
                "mailbox full for %s on silo %d (depth %lld, trace %llu)",
@@ -208,6 +216,9 @@ void Silo::BeginActivate(const ActivationPtr& act) {
           std::lock_guard<std::mutex> lock(act->mu);
           act->actor = std::move(actor);
         }
+        // State I/O inside OnActivate retries under RetryAsync; the flight
+        // scope makes an exhausted retry attributable to this silo.
+        ScopedFlightScope fscope(&cluster_->flight_recorder(), id_);
         act->actor->OnActivate().OnReady(
             [this, act, fail_all](Result<Status>&& r) {
               Status st = r.ok() ? r.value() : r.status();
@@ -219,13 +230,13 @@ void Silo::BeginActivate(const ActivationPtr& act) {
               }
               bool schedule = false;
               Micros cost = 0;
+              Micros now = executor_->clock()->Now();
               {
                 std::lock_guard<std::mutex> lock(act->mu);
                 // A crash may have closed the activation while OnActivate
                 // was in flight; leave it closed (its mailbox was failed).
                 if (act->state == ActState::kClosed) return;
-                act->last_active.store(executor_->clock()->Now(),
-                                       std::memory_order_relaxed);
+                act->last_active.store(now, std::memory_order_relaxed);
                 if (!act->mailbox.empty()) {
                   act->state = ActState::kScheduled;
                   cost = act->mailbox.front().cost_us;
@@ -234,6 +245,10 @@ void Silo::BeginActivate(const ActivationPtr& act) {
                   act->state = ActState::kIdle;
                 }
               }
+              cluster_->flight_recorder().Record(FlightEventType::kActivate,
+                                                 id_, act->id.ToString(),
+                                                 /*trace_id=*/0, /*detail=*/0,
+                                                 now);
               if (schedule) PostTurn(act, cost);
             });
       },
@@ -317,9 +332,16 @@ void Silo::ProcessEnvelope(const ActivationPtr& act, Envelope& env) {
     // Too late to be useful: don't burn a turn on work whose caller has
     // already been timed out by the deadline watchdog.
     cluster_->NoteDeadlineExpired();
+    int64_t depth = MailboxDepth(act);
+    cluster_->flight_recorder().Record(
+        FlightEventType::kDeadlineTimeout, id_, env.target.ToString(),
+        env.trace.trace_id, turn_start - env.deadline_us, turn_start);
     if (env.trace.sampled) {
-      AODB_LOG(Warn, "dropping expired turn for %s on silo %d (trace %llu)",
+      AODB_LOG(Warn,
+               "dropping expired turn for %s on silo %d (mailbox depth %lld, "
+               "trace %llu)",
                env.target.ToString().c_str(), static_cast<int>(id_),
+               static_cast<long long>(depth),
                static_cast<unsigned long long>(env.trace.trace_id));
     }
     if (env.fail) env.fail(Status::Timeout("deadline expired before dispatch"));
@@ -339,6 +361,7 @@ void Silo::ProcessEnvelope(const ActivationPtr& act, Envelope& env) {
     }
     {
       ScopedTraceContext scope(turn_ctx);
+      ScopedFlightScope fscope(&cluster_->flight_recorder(), id_);
       if (env.fn) env.fn(*act->actor);
     }
     internal::CurrentTurnDeadline() = saved_deadline;
@@ -361,12 +384,17 @@ void Silo::ProcessEnvelope(const ActivationPtr& act, Envelope& env) {
     }
     Micros slow = cluster_->options().slow_turn_threshold_us;
     if (slow > 0 && exec_us >= slow) {
+      int64_t depth = MailboxDepth(act);
+      cluster_->flight_recorder().Record(FlightEventType::kSlowTurn, id_,
+                                         env.target.ToString(),
+                                         env.trace.trace_id, exec_us,
+                                         turn_end);
       AODB_LOG(Warn,
                "slow turn: %s ran %lld us (threshold %lld us) on silo %d "
-               "(trace %llu)",
+               "(mailbox depth %lld, trace %llu)",
                env.target.ToString().c_str(),
                static_cast<long long>(exec_us), static_cast<long long>(slow),
-               static_cast<int>(id_),
+               static_cast<int>(id_), static_cast<long long>(depth),
                static_cast<unsigned long long>(env.trace.trace_id));
     }
   }
@@ -463,21 +491,30 @@ int64_t Silo::Kill() {
   }
   Status down = Status::Unavailable("silo down");
   int64_t dead_letters = 0;
+  Micros now = executor_->clock()->Now();
   // Per-envelope WARNs only for traced drops: the trace id makes the lost
-  // work attributable without flooding the log during chaos runs.
-  auto drop = [this, &down, &dead_letters](Envelope& e) {
+  // work attributable without flooding the log during chaos runs. Flight
+  // records are always-on — the postmortem bundle names every dead letter.
+  auto drop = [this, &down, &dead_letters, now](Envelope& e, int64_t depth) {
     if (e.fail) {
       e.fail(down);
       return;
     }
     ++dead_letters;
+    cluster_->flight_recorder().Record(FlightEventType::kDeadLetter, id_,
+                                       e.target.ToString(), e.trace.trace_id,
+                                       depth, now);
     if (e.trace.sampled) {
-      AODB_LOG(Warn, "dead letter: %s dropped by kill of silo %d (trace %llu)",
+      AODB_LOG(Warn,
+               "dead letter: %s dropped by kill of silo %d (mailbox depth "
+               "%lld, trace %llu)",
                e.target.ToString().c_str(), static_cast<int>(id_),
+               static_cast<long long>(depth),
                static_cast<unsigned long long>(e.trace.trace_id));
     }
   };
-  for (auto& e : backlog) drop(e);
+  auto backlog_depth = static_cast<int64_t>(backlog.size());
+  for (auto& e : backlog) drop(e, backlog_depth);
   for (auto& act : victims) {
     std::deque<Envelope> pending;
     {
@@ -487,7 +524,8 @@ int64_t Silo::Kill() {
     }
     DrainQueueAccounting(act, pending.size());
     if (act->actor) act->actor->ctx().CancelAllTimers();
-    for (auto& e : pending) drop(e);
+    auto depth = static_cast<int64_t>(pending.size());
+    for (auto& e : pending) drop(e, depth);
   }
   return dead_letters;
 }
@@ -504,6 +542,7 @@ void Silo::FinishDeactivation(const ActivationPtr& act,
   executor_->Post(Task{
       [this, act, done = std::move(done)] {
         act->actor->ctx().CancelAllTimers();
+        ScopedFlightScope fscope(&cluster_->flight_recorder(), id_);
         act->actor->OnDeactivate().OnReady(
             [this, act, done](Result<Status>&& r) {
               Status st = r.ok() ? r.value() : r.status();
@@ -530,13 +569,22 @@ void Silo::FinishDeactivation(const ActivationPtr& act,
                 catalog_.erase(act->id);
                 ++stats_.activations_removed;
               }
+              Micros now = executor_->clock()->Now();
               if (moved) {
                 cluster_->NoteMigration();
+                cluster_->flight_recorder().Record(
+                    FlightEventType::kMigrate, id_, act->id.ToString(),
+                    /*trace_id=*/0, /*detail=*/migrate_to, now);
                 AODB_LOG(Info,
                          "migrated %s from silo %d to silo %d (%zu queued "
                          "message(s) re-routed)",
                          act->id.ToString().c_str(), static_cast<int>(id_),
                          static_cast<int>(migrate_to), pending.size());
+              } else {
+                cluster_->flight_recorder().Record(
+                    FlightEventType::kDeactivate, id_, act->id.ToString(),
+                    /*trace_id=*/0,
+                    /*detail=*/static_cast<int64_t>(pending.size()), now);
               }
               for (auto& e : pending) cluster_->Send(std::move(e));
               if (done) done(st);
@@ -549,6 +597,35 @@ void Silo::DrainQueueAccounting(const ActivationPtr& act, size_t n) {
   if (n == 0) return;
   queued_.fetch_sub(static_cast<int64_t>(n), std::memory_order_relaxed);
   act->depth_gauge->Add(-static_cast<int64_t>(n));
+}
+
+int64_t Silo::MailboxDepth(const ActivationPtr& act) {
+  std::lock_guard<std::mutex> lock(act->mu);
+  return static_cast<int64_t>(act->mailbox.size());
+}
+
+std::vector<Silo::HotActivation> Silo::TopActivations(size_t n) const {
+  std::vector<HotActivation> out;
+  if (!alive() || n == 0) return out;
+  std::vector<ActivationPtr> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(catalog_.size());
+    for (const auto& [id, act] : catalog_) snapshot.push_back(act);
+  }
+  out.reserve(snapshot.size());
+  for (const auto& act : snapshot) {
+    std::lock_guard<std::mutex> lock(act->mu);
+    if (act->state == ActState::kClosed) continue;
+    out.push_back({act->id, static_cast<int64_t>(act->mailbox.size())});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HotActivation& a, const HotActivation& b) {
+              if (a.depth != b.depth) return a.depth > b.depth;
+              return a.id.ToString() < b.id.ToString();
+            });
+  if (out.size() > n) out.resize(n);
+  return out;
 }
 
 std::optional<Silo::HotActivation> Silo::HottestActivation(

@@ -64,6 +64,11 @@ class Silo {
   };
   std::optional<HotActivation> HottestActivation(int min_depth) const;
 
+  /// The `n` deepest live activations (by current mailbox depth), deepest
+  /// first — the postmortem bundle's per-silo hot-actor summary. Empty on a
+  /// dead silo.
+  std::vector<HotActivation> TopActivations(size_t n) const;
+
   /// Initiates live migration of an activation to silo `to`: the current
   /// turn (if any) finishes, OnDeactivate flushes state, the directory
   /// entry moves to `to`, and queued + subsequent messages re-route there,
@@ -169,6 +174,9 @@ class Silo {
   void FinishDeactivation(const ActivationPtr& act,
                           std::function<void(Status)> done);
   void Reroute(Envelope env);
+  /// Current mailbox depth of one activation (takes its lock briefly; only
+  /// called on rare warn/flight-event paths, never per message).
+  static int64_t MailboxDepth(const ActivationPtr& act);
   /// Settles the silo queued-envelope count and the per-type depth gauge
   /// for `n` envelopes drained from an activation's mailbox in bulk
   /// (deactivation re-route, activation failure, kill).

@@ -118,15 +118,15 @@ namespace {
 
 void AppendSpanJson(const SpanRecord& s, std::string* out) {
   char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "{\"span\":%llu,\"parent\":%llu,\"name\":\"%s\",",
+  std::snprintf(buf, sizeof(buf), "{\"span\":%llu,\"parent\":%llu,",
                 static_cast<unsigned long long>(s.span_id),
-                static_cast<unsigned long long>(s.parent_span_id),
-                s.name.c_str());
+                static_cast<unsigned long long>(s.parent_span_id));
   *out += buf;
-  std::snprintf(buf, sizeof(buf),
-                "\"actor\":\"%s\",\"kind\":\"%s\",\"silo\":%d,",
-                s.actor.c_str(), s.kind.c_str(), s.silo);
+  // Name/actor/kind come from user-registered actor types and keys: escape,
+  // or a hostile name breaks every consumer of the dump.
+  *out += "\"name\":\"" + JsonEscape(s.name) + "\",\"actor\":\"" +
+          JsonEscape(s.actor) + "\",\"kind\":\"" + JsonEscape(s.kind) + "\",";
+  std::snprintf(buf, sizeof(buf), "\"silo\":%d,", s.silo);
   *out += buf;
   std::snprintf(buf, sizeof(buf),
                 "\"start_us\":%lld,\"end_us\":%lld,\"queue_wait_us\":%lld}",

@@ -1,0 +1,223 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace aodb {
+
+void JsonReader::Ws() {
+  while (p_ != end_ && std::isspace(static_cast<unsigned char>(*p_))) ++p_;
+}
+
+bool JsonReader::AtEnd() {
+  Ws();
+  return p_ == end_;
+}
+
+bool JsonReader::Consume(char c) {
+  Ws();
+  if (p_ == end_ || *p_ != c) return false;
+  ++p_;
+  return true;
+}
+
+bool JsonReader::Peek(char c) {
+  Ws();
+  return p_ != end_ && *p_ == c;
+}
+
+bool JsonReader::ReadString(std::string* out) {
+  Ws();
+  if (p_ == end_ || *p_ != '"') return false;
+  ++p_;
+  out->clear();
+  while (p_ != end_ && *p_ != '"') {
+    if (*p_ != '\\') {
+      out->push_back(*p_++);
+      continue;
+    }
+    ++p_;  // Past the backslash.
+    if (p_ == end_) return false;
+    char c = *p_++;
+    switch (c) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      case 'u': {
+        if (end_ - p_ < 4) return false;
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          char h = *p_++;
+          code <<= 4;
+          if (h >= '0' && h <= '9') {
+            code |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            code |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            code |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            return false;
+          }
+        }
+        if (code < 0x80) {
+          out->push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  if (p_ == end_) return false;
+  ++p_;  // Closing quote.
+  return true;
+}
+
+bool JsonReader::ReadDouble(double* out) {
+  Ws();
+  const char* start = p_;
+  while (p_ != end_ &&
+         (std::isdigit(static_cast<unsigned char>(*p_)) || *p_ == '-' ||
+          *p_ == '+' || *p_ == '.' || *p_ == 'e' || *p_ == 'E')) {
+    ++p_;
+  }
+  if (p_ == start) return false;
+  *out = std::strtod(std::string(start, p_).c_str(), nullptr);
+  return true;
+}
+
+bool JsonReader::ReadI64(int64_t* out) {
+  Ws();
+  const char* start = p_;
+  while (p_ != end_ &&
+         (std::isdigit(static_cast<unsigned char>(*p_)) || *p_ == '-')) {
+    ++p_;
+  }
+  if (p_ == start) return false;
+  // strtoull covers the full uint64 seed range via wraparound.
+  *out = static_cast<int64_t>(
+      std::strtoull(std::string(start, p_).c_str(), nullptr, 10));
+  if (start[0] == '-') {
+    *out = std::strtoll(std::string(start, p_).c_str(), nullptr, 10);
+  }
+  return true;
+}
+
+bool JsonReader::ReadBool(bool* out) {
+  Ws();
+  if (end_ - p_ >= 4 && std::strncmp(p_, "true", 4) == 0) {
+    p_ += 4;
+    *out = true;
+    return true;
+  }
+  if (end_ - p_ >= 5 && std::strncmp(p_, "false", 5) == 0) {
+    p_ += 5;
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+bool JsonReader::ReadNull() {
+  Ws();
+  if (end_ - p_ >= 4 && std::strncmp(p_, "null", 4) == 0) {
+    p_ += 4;
+    return true;
+  }
+  return false;
+}
+
+bool JsonReader::SkipValue() {
+  Ws();
+  if (p_ == end_) return false;
+  if (*p_ == '"') {
+    std::string ignored;
+    return ReadString(&ignored);
+  }
+  if (*p_ == '{' || *p_ == '[') {
+    const char open = *p_;
+    const char close = open == '{' ? '}' : ']';
+    ++p_;
+    int depth = 1;
+    bool in_string = false;
+    while (p_ != end_ && depth > 0) {
+      if (in_string) {
+        if (*p_ == '\\') {
+          ++p_;
+          if (p_ == end_) break;
+        } else if (*p_ == '"') {
+          in_string = false;
+        }
+      } else if (*p_ == '"') {
+        in_string = true;
+      } else if (*p_ == open) {
+        ++depth;
+      } else if (*p_ == close) {
+        --depth;
+      }
+      ++p_;
+    }
+    return depth == 0;
+  }
+  bool b;
+  if (*p_ == 't' || *p_ == 'f') return ReadBool(&b);
+  if (*p_ == 'n') return ReadNull();
+  double d;
+  return ReadDouble(&d);
+}
+
+bool ReadObject(JsonReader* r,
+                const std::function<bool(const std::string&)>& field) {
+  if (!r->Consume('{')) return false;
+  if (r->Consume('}')) return true;
+  do {
+    std::string key;
+    if (!r->ReadString(&key) || !r->Consume(':')) return false;
+    if (!field(key)) return false;
+  } while (r->Consume(','));
+  return r->Consume('}');
+}
+
+namespace {
+
+bool ValidateValue(JsonReader* r, int depth) {
+  if (depth > 64) return false;
+  if (r->Peek('{')) {
+    return ReadObject(
+        r, [&](const std::string&) { return ValidateValue(r, depth + 1); });
+  }
+  if (r->Peek('[')) {
+    return ReadArray(r, [&] { return ValidateValue(r, depth + 1); });
+  }
+  if (r->Peek('"')) {
+    std::string s;
+    return r->ReadString(&s);
+  }
+  bool b;
+  if (r->ReadBool(&b)) return true;
+  if (r->ReadNull()) return true;
+  double d;
+  return r->ReadDouble(&d);
+}
+
+}  // namespace
+
+bool ValidateJson(const std::string& text) {
+  JsonReader r(text);
+  return ValidateValue(&r, 0) && r.AtEnd();
+}
+
+}  // namespace aodb

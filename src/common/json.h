@@ -1,0 +1,77 @@
+// Minimal recursive-descent JSON reader shared by the DST replay-artifact
+// loader (sim/explore.cc), the postmortem-bundle sanity checks, and the
+// observability property tests. Covers the subset this codebase's writers
+// emit: objects, arrays, numbers (incl. exponents), booleans, null, and
+// strings with the standard escapes (\" \\ \/ \b \f \n \r \t \uXXXX).
+// Unknown object keys can be skipped, so hand-edited artifacts stay
+// loadable.
+
+#ifndef AODB_COMMON_JSON_H_
+#define AODB_COMMON_JSON_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace aodb {
+
+/// Cursor-style pull reader. All Read*/Consume methods skip leading
+/// whitespace and return false on malformed input without a defined cursor
+/// position (abandon the reader on failure).
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+  /// The reader keeps a cursor into `text` — a temporary would dangle.
+  explicit JsonReader(std::string&&) = delete;
+
+  bool AtEnd();
+  bool Consume(char c);
+  bool Peek(char c);
+
+  /// Reads a string literal, decoding standard escapes; \uXXXX decodes to
+  /// UTF-8 (no surrogate-pair recombination — the writers here only emit
+  /// \u00XX for control bytes).
+  bool ReadString(std::string* out);
+  bool ReadDouble(double* out);
+  /// Integers parse exactly (a double round-trip would corrupt 64-bit
+  /// seeds); unsigned values up to UINT64_MAX arrive via wraparound.
+  bool ReadI64(int64_t* out);
+  bool ReadBool(bool* out);
+  bool ReadNull();
+
+  /// Skips one value of any supported shape (for unknown keys).
+  bool SkipValue();
+
+ private:
+  void Ws();
+  const char* p_;
+  const char* end_;
+};
+
+/// Parses {"key": value, ...}, dispatching each key to `field`. `field`
+/// must consume exactly one value and return false on malformed input.
+bool ReadObject(JsonReader* r,
+                const std::function<bool(const std::string&)>& field);
+
+/// Parses [value, ...], calling `element` once per element; `element` must
+/// consume exactly one value.
+template <typename Fn>
+bool ReadArray(JsonReader* r, Fn element) {
+  if (!r->Consume('[')) return false;
+  if (r->Consume(']')) return true;
+  do {
+    if (!element()) return false;
+  } while (r->Consume(','));
+  return r->Consume(']');
+}
+
+/// True iff `text` is exactly one well-formed JSON value (of the supported
+/// subset) followed only by whitespace. This is a real recursive parse —
+/// every nested string/number/bool is validated, not just brace-balanced —
+/// so the property tests use it to prove dumps survive hostile names.
+bool ValidateJson(const std::string& text);
+
+}  // namespace aodb
+
+#endif  // AODB_COMMON_JSON_H_

@@ -116,10 +116,6 @@ std::string MetricsSnapshot::ToTable() const {
   return out;
 }
 
-namespace {
-
-/// Minimal JSON string escaping (metric names are plain identifiers, but a
-/// dump must never emit invalid JSON whatever the name).
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -141,8 +137,6 @@ std::string JsonEscape(const std::string& s) {
   }
   return out;
 }
-
-}  // namespace
 
 std::string MetricsSnapshot::ToJson() const {
   std::string out = "{\"counters\":{";
@@ -180,6 +174,43 @@ std::string MetricsSnapshot::ToJson() const {
   }
   out += "}}";
   return out;
+}
+
+// --- MetricsTimeline ---------------------------------------------------------
+
+void MetricsTimeline::Record(int64_t t_us, const MetricsSnapshot& snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot delta = has_prev_ ? snap.Delta(prev_) : snap;
+  prev_ = snap;
+  has_prev_ = true;
+  entries_.emplace_back(t_us, std::move(delta));
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+size_t MetricsTimeline::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::string MetricsTimeline::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "[";
+  bool first = true;
+  for (const auto& [t_us, snap] : entries_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"t_us\":" + std::to_string(t_us) +
+           ",\"metrics\":" + snap.ToJson() + "}";
+  }
+  out += ']';
+  return out;
+}
+
+void MetricsTimeline::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  has_prev_ = false;
+  prev_ = MetricsSnapshot();
 }
 
 // --- MetricsRegistry ---------------------------------------------------------

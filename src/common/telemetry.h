@@ -15,14 +15,23 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 
 #include "common/histogram.h"
 
 namespace aodb {
+
+/// Escapes `s` for embedding in a JSON string literal (quotes, backslashes,
+/// control characters). Every JSON writer in the runtime (metrics, traces,
+/// flight events, postmortem bundles) routes names through this so a dump
+/// never emits invalid JSON whatever the metric/actor name.
+std::string JsonEscape(const std::string& s);
 
 /// Monotonic event count. Lock-free; safe from any thread.
 class Counter {
@@ -94,6 +103,35 @@ struct MetricsSnapshot {
   /// {count,mean,p50,p90,p99,p999,max}}}. Keys are sorted (std::map), so
   /// output is deterministic.
   std::string ToJson() const;
+};
+
+/// Bounded time-series of metric deltas: each Record(t, snapshot) stores the
+/// delta against the previous snapshot, so the series shows metric
+/// *evolution* per interval instead of cumulative totals. Oldest entries
+/// fall off past `capacity`. Mutex-guarded — the sampler ticks on a
+/// background cadence, never on the message hot path.
+class MetricsTimeline {
+ public:
+  explicit MetricsTimeline(size_t capacity = 256)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Appends the delta of `snap` against the previously recorded snapshot
+  /// (the first call records the snapshot as-is — the delta from zero).
+  void Record(int64_t t_us, const MetricsSnapshot& snap);
+
+  size_t size() const;
+
+  /// [{"t_us":N,"metrics":{...}}, ...] in record order (deterministic).
+  std::string ToJson() const;
+
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  bool has_prev_ = false;
+  MetricsSnapshot prev_;
+  std::deque<std::pair<int64_t, MetricsSnapshot>> entries_;
 };
 
 /// Named metric registry. Get* registers on first use and returns a pointer

@@ -21,6 +21,7 @@
 #include "actor/fault.h"
 #include "actor/membership.h"
 #include "actor/method_registry.h"
+#include "common/json.h"
 #include "common/logging.h"
 #include "sim/sim_harness.h"
 #include "storage/faulty_storage.h"
@@ -362,6 +363,13 @@ RunResult RunScenario(const FaultPlan& plan, const ExploreConfig& config) {
       harness.RunFor(config.check_interval_us);
       check_catalog();
     }
+    if (config.force_violation) {
+      out.violations.push_back(
+          "forced: synthetic invariant violation on actor " +
+          std::string(DstSeqActor::kTypeName) + "/" + ActorKey(0) +
+          " (postmortem pipeline self-test) at t=" +
+          std::to_string(harness.Now()) + "us");
+    }
 
     // Heal phase: flush wedges (kill fails their swallowed backlog
     // deterministically), restart every dead silo, unsuppress membership
@@ -453,6 +461,13 @@ RunResult RunScenario(const FaultPlan& plan, const ExploreConfig& config) {
     HashI64(&h, cluster.TotalMessagesProcessed());
     HashI64(&h, out.checks_run);
 
+    // Violating run: capture the postmortem bundle while the cluster is
+    // still up (it needs live membership, catalogs, and metric state).
+    if (!out.violations.empty()) {
+      out.postmortem_json = cluster.BuildPostmortemJson(
+          "dst invariant violation: " + out.violations.front());
+    }
+
     cluster.Stop();
   }
   // Invariant 4: the whole scenario — cluster, scheduler, drivers — is torn
@@ -481,157 +496,6 @@ void AppendDouble(std::string* s, double v) {
 }
 
 void AppendI64(std::string* s, int64_t v) { *s += std::to_string(v); }
-
-/// Minimal recursive-descent JSON reader for the artifact subset: objects,
-/// arrays, numbers (incl. exponents), booleans, and escape-free strings.
-/// Unknown keys are skipped, so hand-edited artifacts stay loadable.
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& text)
-      : p_(text.data()), end_(text.data() + text.size()) {}
-
-  bool AtEnd() {
-    Ws();
-    return p_ == end_;
-  }
-
-  bool Consume(char c) {
-    Ws();
-    if (p_ == end_ || *p_ != c) return false;
-    ++p_;
-    return true;
-  }
-
-  bool Peek(char c) {
-    Ws();
-    return p_ != end_ && *p_ == c;
-  }
-
-  bool ReadString(std::string* out) {
-    Ws();
-    if (p_ == end_ || *p_ != '"') return false;
-    ++p_;
-    out->clear();
-    while (p_ != end_ && *p_ != '"') {
-      if (*p_ == '\\') return false;  // Artifact keys/values never escape.
-      out->push_back(*p_++);
-    }
-    if (p_ == end_) return false;
-    ++p_;
-    return true;
-  }
-
-  bool ReadDouble(double* out) {
-    Ws();
-    const char* start = p_;
-    while (p_ != end_ &&
-           (std::isdigit(static_cast<unsigned char>(*p_)) || *p_ == '-' ||
-            *p_ == '+' || *p_ == '.' || *p_ == 'e' || *p_ == 'E')) {
-      ++p_;
-    }
-    if (p_ == start) return false;
-    *out = std::strtod(std::string(start, p_).c_str(), nullptr);
-    return true;
-  }
-
-  bool ReadI64(int64_t* out) {
-    Ws();
-    const char* start = p_;
-    while (p_ != end_ &&
-           (std::isdigit(static_cast<unsigned char>(*p_)) || *p_ == '-')) {
-      ++p_;
-    }
-    if (p_ == start) return false;
-    // Integers parse exactly (a double round-trip would corrupt 64-bit
-    // seeds); strtoull covers the full uint64 seed range via wraparound.
-    *out = static_cast<int64_t>(
-        std::strtoull(std::string(start, p_).c_str(), nullptr, 10));
-    if (start[0] == '-') {
-      *out = std::strtoll(std::string(start, p_).c_str(), nullptr, 10);
-    }
-    return true;
-  }
-
-  bool ReadBool(bool* out) {
-    Ws();
-    if (end_ - p_ >= 4 && std::strncmp(p_, "true", 4) == 0) {
-      p_ += 4;
-      *out = true;
-      return true;
-    }
-    if (end_ - p_ >= 5 && std::strncmp(p_, "false", 5) == 0) {
-      p_ += 5;
-      *out = false;
-      return true;
-    }
-    return false;
-  }
-
-  /// Skips one value of any supported shape (for unknown keys).
-  bool SkipValue() {
-    Ws();
-    if (p_ == end_) return false;
-    if (*p_ == '"') {
-      std::string ignored;
-      return ReadString(&ignored);
-    }
-    if (*p_ == '{' || *p_ == '[') {
-      const char open = *p_;
-      const char close = open == '{' ? '}' : ']';
-      ++p_;
-      int depth = 1;
-      bool in_string = false;
-      while (p_ != end_ && depth > 0) {
-        if (in_string) {
-          if (*p_ == '"') in_string = false;
-        } else if (*p_ == '"') {
-          in_string = true;
-        } else if (*p_ == open) {
-          ++depth;
-        } else if (*p_ == close) {
-          --depth;
-        }
-        ++p_;
-      }
-      return depth == 0;
-    }
-    bool b;
-    if (*p_ == 't' || *p_ == 'f') return ReadBool(&b);
-    double d;
-    return ReadDouble(&d);
-  }
-
- private:
-  void Ws() {
-    while (p_ != end_ && std::isspace(static_cast<unsigned char>(*p_))) ++p_;
-  }
-  const char* p_;
-  const char* end_;
-};
-
-/// Parses {"key": value, ...}, dispatching each key to `field`. `field`
-/// must consume exactly one value and return false on malformed input.
-bool ReadObject(JsonReader* r,
-                const std::function<bool(const std::string&)>& field) {
-  if (!r->Consume('{')) return false;
-  if (r->Consume('}')) return true;
-  do {
-    std::string key;
-    if (!r->ReadString(&key) || !r->Consume(':')) return false;
-    if (!field(key)) return false;
-  } while (r->Consume(','));
-  return r->Consume('}');
-}
-
-template <typename Fn>
-bool ReadArray(JsonReader* r, Fn element) {
-  if (!r->Consume('[')) return false;
-  if (r->Consume(']')) return true;
-  do {
-    if (!element()) return false;
-  } while (r->Consume(','));
-  return r->Consume(']');
-}
 
 }  // namespace
 

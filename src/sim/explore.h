@@ -73,6 +73,12 @@ struct ExploreConfig {
   double max_reorder_prob = 0.05;
   double max_storage_error_prob = 0.10;
   double max_torn_write_prob = 0.05;
+
+  /// Self-test hook: append a synthetic invariant violation (naming oracle
+  /// actor 0) at the end of the fault window. Exercises the whole
+  /// violation-handling pipeline — postmortem bundle, replay artifact,
+  /// nonzero exit — without needing a real bug (tier-1 bundle-sanity).
+  bool force_violation = false;
 };
 
 /// Outcome of one scenario run.
@@ -87,6 +93,12 @@ struct RunResult {
   int64_t acked_ops = 0;
   /// Quiesce-point checks executed (sanity: the checker actually ran).
   int64_t checks_run = 0;
+  /// Postmortem bundle (aodb.postmortem.v1 JSON), built from the live
+  /// cluster when the run violated an invariant; empty on a clean run.
+  /// Deterministic for a given (plan, config) — replays produce the same
+  /// bytes. Excluded from the fingerprint (it embeds the violation list the
+  /// fingerprint already covers).
+  std::string postmortem_json;
 };
 
 /// Draws a randomized fault schedule from `seed` under the config ceilings.

@@ -39,6 +39,7 @@ struct Args {
   std::string replay;
   std::string artifact_dir = "dst_artifacts";
   bool shrink = true;
+  bool force_violation = false;
 };
 
 bool ParseArgs(int argc, char** argv, Args* out) {
@@ -58,6 +59,8 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       out->artifact_dir = v;
     } else if (arg == "--no-shrink") {
       out->shrink = false;
+    } else if (arg == "--force-violation") {
+      out->force_violation = true;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -77,7 +80,7 @@ void Usage() {
   std::fprintf(
       stderr,
       "usage: dst_explore [--seeds=N] [--base-seed=S] [--artifact-dir=DIR]\n"
-      "                   [--no-shrink] [--replay=FILE]\n");
+      "                   [--no-shrink] [--force-violation] [--replay=FILE]\n");
 }
 
 bool WriteFile(const std::string& path, const std::string& content) {
@@ -103,6 +106,7 @@ int Replay(const Args& args) {
     return 2;
   }
   ExploreConfig config;
+  config.force_violation = args.force_violation;
   std::printf("replaying seed %llu (%d fault events) from %s\n",
               static_cast<unsigned long long>(plan.seed),
               aodb::dst::CountFaultEvents(plan), args.replay.c_str());
@@ -119,6 +123,29 @@ int Replay(const Args& args) {
                  "differ)\n");
     return 2;
   }
+  if (first.postmortem_json != second.postmortem_json) {
+    std::fprintf(stderr,
+                 "dst_explore: REPLAY NOT DETERMINISTIC (postmortem bundles "
+                 "differ)\n");
+    return 2;
+  }
+  if (!first.postmortem_json.empty()) {
+    // seed-N.json -> seed-N.bundle.json, next to the replay artifact.
+    std::string bundle_path = args.replay;
+    const std::string suffix = ".json";
+    if (bundle_path.size() > suffix.size() &&
+        bundle_path.compare(bundle_path.size() - suffix.size(), suffix.size(),
+                            suffix) == 0) {
+      bundle_path.resize(bundle_path.size() - suffix.size());
+    }
+    bundle_path += ".bundle.json";
+    if (WriteFile(bundle_path, first.postmortem_json)) {
+      std::printf("postmortem bundle: %s\n", bundle_path.c_str());
+    } else {
+      std::fprintf(stderr, "dst_explore: failed to write %s\n",
+                   bundle_path.c_str());
+    }
+  }
   std::printf("replay deterministic: %d violation(s), %lld acked ops\n",
               static_cast<int>(first.violations.size()),
               static_cast<long long>(first.acked_ops));
@@ -127,6 +154,7 @@ int Replay(const Args& args) {
 
 int Sweep(const Args& args) {
   ExploreConfig config;
+  config.force_violation = args.force_violation;
   int64_t total_acked = 0;
   int64_t total_checks = 0;
   int violating_seeds = 0;
@@ -157,6 +185,15 @@ int Sweep(const Args& args) {
       artifacts.push_back(full_path);
     } else {
       std::fprintf(stderr, "  failed to write %s\n", full_path.c_str());
+    }
+    if (!result.postmortem_json.empty()) {
+      const std::string bundle_path = base + ".bundle.json";
+      if (WriteFile(bundle_path, result.postmortem_json)) {
+        std::printf("  postmortem bundle: %s\n", bundle_path.c_str());
+        artifacts.push_back(bundle_path);
+      } else {
+        std::fprintf(stderr, "  failed to write %s\n", bundle_path.c_str());
+      }
     }
     if (args.shrink) {
       int shrink_runs = 0;
