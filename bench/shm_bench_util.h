@@ -11,10 +11,13 @@
 #include <cstdlib>
 #include <string>
 
+#include "actor/actor_ref.h"
 #include "common/telemetry.h"
 #include "loadgen/shm_loadgen.h"
 #include "shm/platform.h"
 #include "sim/sim_harness.h"
+#include "storage/mem_kv.h"
+#include "storage/state_storage.h"
 
 namespace aodb {
 namespace bench {
@@ -35,6 +38,19 @@ struct ShmRunConfig {
   /// Use the paper's placement (prefer-local channels). Disable to measure
   /// the random-placement baseline in the placement ablation.
   bool paper_placement = true;
+  /// Extra REGISTERED-but-dormant actors touched once before the measured
+  /// interval (fig7's registered-actor-count axis): they hold directory
+  /// entries for the whole run but offer no load, so with a working-set cap
+  /// (runtime.max_resident_activations) they page out and the measured
+  /// interval shows whether throughput is flat in the registered count.
+  int dormant_registered = 0;
+};
+
+/// A registered-but-idle actor for the dormant-population axis.
+class DormantActor : public ActorBase {
+ public:
+  static constexpr char kTypeName[] = "bench.Dormant";
+  void Ping() {}
 };
 
 /// Trace sampling for a bench run: AODB_TRACE_SAMPLE=N turns on 1-in-N root
@@ -110,8 +126,19 @@ struct ShmRunResult {
 /// Runs one complete experiment in virtual time.
 inline ShmRunResult RunShmExperiment(const ShmRunConfig& config) {
   ShmRunResult result;
+  MemKvStore state_backing;
   SimHarness harness(config.runtime);
   shm::ShmPlatform::RegisterTypes(harness.cluster());
+  if (config.runtime.max_resident_activations > 0) {
+    // A working-set cap deactivates actors mid-run, and SHM actors are
+    // PersistentActors: without a backing provider they run volatile and a
+    // page-out would silently drop sensor/channel configuration (fault-in
+    // then fails every insert with "sensor not configured"). Register the
+    // in-memory store only for capped runs so the historical uncapped
+    // fig6/fig7 baselines keep their exact event schedules.
+    harness.cluster().RegisterStateStorage(
+        "default", std::make_shared<KvStateStorage>(&state_backing));
+  }
   if (config.paper_placement) {
     shm::ShmPlatform::ApplyPaperPlacement(harness.cluster());
   }
@@ -125,6 +152,22 @@ inline ShmRunResult RunShmExperiment(const ShmRunConfig& config) {
     return result;
   }
   result.setup_ok = true;
+
+  if (config.dormant_registered > 0) {
+    // Register the dormant population before measurement: one touch per
+    // actor creates its directory entry, chunked so the eviction loop pages
+    // the cold tail out as the sweep proceeds instead of ballooning the
+    // resident set.
+    harness.cluster().RegisterActorType<DormantActor>();
+    constexpr int kChunk = 8192;
+    for (int i = 0; i < config.dormant_registered; ++i) {
+      harness.cluster()
+          .Ref<DormantActor>("dormant" + std::to_string(i))
+          .Tell(&DormantActor::Ping);
+      if ((i + 1) % kChunk == 0) harness.RunFor(200 * kMicrosPerMilli);
+    }
+    harness.RunFor(5 * kMicrosPerSecond);
+  }
 
   // Measure utilization over the load interval only.
   std::vector<Micros> busy_before;

@@ -34,7 +34,7 @@ fi
 
 cmake -B build -S . >/dev/null
 cmake --build build -j --target micro_runtime fig6_single_server \
-  flash_crowd >/dev/null
+  flash_crowd micro_scale >/dev/null
 
 echo "bench_compare: running micro_runtime (real-mode filter)..."
 build/bench/micro_runtime \
@@ -49,10 +49,34 @@ echo "bench_compare: running flash_crowd (AODB_BENCH_SECONDS=5)..."
 AODB_BENCH_SECONDS=5 build/bench/flash_crowd \
   --metrics-json="$tmp/flash_metrics.json" >"$tmp/flash.txt"
 
-python3 - "$tmp/micro.json" "$tmp/fig6.txt" "$tmp/flash.txt" "$out" <<'EOF'
+# Million-actor scale snapshot, two cluster legs:
+#  1. resident-path sweep (cold tail off): the flat-cost acceptance ratio —
+#     per-message cost growth as the REGISTERED population grows 1000x with
+#     a fixed hot working set. A cold-miss tail would fold real fault work
+#     (storage loads) into the ratio and measure the workload, not the
+#     structure.
+#  2. fault leg (1M row only, 1% uniform cold tail): exercises the paging
+#     path at scale and snapshots the activation-fault count + queue-wait
+#     p99. AODB_SCALE_* env overrides pass through to both legs
+#     (e.g. AODB_SCALE_ACTORS=100000 for a quick local run).
+echo "bench_compare: running micro_scale (cluster mode, resident-path sweep)..."
+AODB_SCALE_TAIL_PER_MILLE=0 build/bench/micro_scale >"$tmp/scale_cluster.txt"
+
+echo "bench_compare: running micro_scale (cluster mode, 1M fault leg)..."
+AODB_SCALE_MIN_ACTORS="${AODB_SCALE_ACTORS:-1000000}" \
+  AODB_SCALE_REPEATS=1 AODB_SCALE_MESSAGES=800000 \
+  build/bench/micro_scale >"$tmp/scale_fault.txt"
+
+echo "bench_compare: running micro_scale (--mode=directory stripe sweep)..."
+build/bench/micro_scale --mode=directory >"$tmp/scale_dir.txt"
+
+python3 - "$tmp/micro.json" "$tmp/fig6.txt" "$tmp/flash.txt" \
+  "$tmp/scale_cluster.txt" "$tmp/scale_fault.txt" "$tmp/scale_dir.txt" \
+  "$out" <<'EOF'
 import json, re, subprocess, sys
 
-micro_path, fig6_path, flash_path, out_path = sys.argv[1:5]
+(micro_path, fig6_path, flash_path, scale_cluster_path, scale_fault_path,
+ scale_dir_path, out_path) = sys.argv[1:8]
 
 with open(micro_path) as f:
     micro_raw = json.load(f)
@@ -112,6 +136,55 @@ with open(flash_path) as f:
                 "conserved": m.group(11) == "yes",
             })
 
+# micro_scale cluster rows: registered messages msgs_per_sec ns_per_msg
+#                           ratio_vs_1k faults paged_out fault_p99_us dir_entries
+scale_row = re.compile(
+    r"^\s*(\d+)\s+(\d+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s+"
+    r"(\d+)\s+(\d+)\s+(\d+)\s+(\d+)\s*$")
+
+def parse_scale(path):
+    rows = []
+    with open(path) as f:
+        for line in f:
+            m = scale_row.match(line)
+            if m:
+                rows.append({
+                    "registered": int(m.group(1)),
+                    "msgs_per_sec": float(m.group(3)),
+                    "ns_per_msg": float(m.group(4)),
+                    "ratio_vs_1k": float(m.group(5)),
+                    "faults": int(m.group(6)),
+                    "paged_out": int(m.group(7)),
+                    "fault_p99_us": int(m.group(8)),
+                    "directory_entries": int(m.group(9)),
+                })
+    return rows
+
+scale = parse_scale(scale_cluster_path)
+scale_fault = parse_scale(scale_fault_path)
+
+# micro_scale directory rows:
+#   shards threads mops_per_sec speedup_vs_1 contended_per_kop
+shard_sweep = []
+shard_row = re.compile(
+    r"^\s*(\d+)\s+(\d+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s*$")
+with open(scale_dir_path) as f:
+    for line in f:
+        m = shard_row.match(line)
+        if m:
+            shard_sweep.append({
+                "shards": int(m.group(1)),
+                "mops_per_sec": float(m.group(3)),
+                "speedup_vs_1": float(m.group(4)),
+                "contended_per_kop": float(m.group(5)),
+            })
+
+def shard_speedup(n):
+    for r in shard_sweep:
+        if r["shards"] == n:
+            return r["speedup_vs_1"]
+    return 0.0
+
 def flash_p99(phase):
     for r in flash:
         if r["phase"] == phase:
@@ -151,6 +224,24 @@ snapshot = {
     # Fractional slowdown of the headline drain bench with the recorder on.
     "flight_recorder_overhead": (
         round(drain_on / drain_off - 1.0, 4) if drain_off > 0 else 0.0),
+    # Million-actor scale, resident path: per-message cost vs registered
+    # count under a working-set cap, cold tail off (acceptance: largest
+    # row's ratio_vs_1k <= 1.2).
+    "micro_scale": scale,
+    "micro_scale_cost_ratio": (
+        scale[-1]["ratio_vs_1k"] if scale else 0.0),
+    # Fault leg: the largest row re-run with the 1% uniform cold tail, so
+    # the activation-fault path (paged entry -> storage load -> turn) is
+    # exercised and its enqueue->first-turn p99 tracked.
+    "micro_scale_fault": scale_fault,
+    "activation_fault_count": (
+        scale_fault[-1]["faults"] if scale_fault else 0),
+    "activation_fault_p99_us": (
+        scale_fault[-1]["fault_p99_us"] if scale_fault else 0),
+    # Raw directory throughput vs stripe count; the tracked lock-striping
+    # win (acceptance: >= 2.0 at 8 stripes vs 1).
+    "directory_shard_sweep": shard_sweep,
+    "directory_shard_speedup_8v1": shard_speedup(8),
 }
 with open(out_path, "w") as f:
     json.dump(snapshot, f, indent=2)

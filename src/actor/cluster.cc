@@ -30,7 +30,7 @@ Cluster::Cluster(const RuntimeOptions& options,
       timeline_(static_cast<size_t>(
           std::max(1, options.observability.metrics_timeline_capacity))),
       directory_(options.num_silos, options.default_placement,
-                 options.seed ^ 0x5a5a5a5aULL),
+                 options.seed ^ 0x5a5a5a5aULL, options.directory_shards),
       network_(options.network, options.seed ^ 0xc3c3c3c3ULL) {
   assert(static_cast<int>(silo_executors_.size()) == options.num_silos);
   dead_letters_ = metrics_.GetCounter("cluster.dead_letters");
@@ -50,6 +50,12 @@ Cluster::Cluster(const RuntimeOptions& options,
   wire_reply_bytes_ = metrics_.GetCounter("wire.reply_bytes");
   closure_fallbacks_ = metrics_.GetCounter("wire.closure_fallbacks");
   wire_decode_failures_ = metrics_.GetCounter("wire.decode_failures");
+  activation_paged_out_ = metrics_.GetCounter("activation.paged_out");
+  activation_faults_ = metrics_.GetCounter("activation.fault.count");
+  activation_fault_load_ = metrics_.GetHistogram("activation.fault.load_us");
+  activation_fault_wait_ =
+      metrics_.GetHistogram("activation.fault.queue_wait_us");
+  directory_.BindMetrics(&metrics_);
   silos_.reserve(options.num_silos);
   for (int i = 0; i < options.num_silos; ++i) {
     silos_.push_back(
@@ -87,6 +93,29 @@ int Cluster::MailboxLimitFor(const std::string& type) const {
   auto it = type_mailbox_depth_.find(type);
   return it != type_mailbox_depth_.end() ? it->second
                                          : options_.overload.max_mailbox_depth;
+}
+
+void Cluster::SetTypeMaxResident(const std::string& type, int limit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (limit <= 0) {
+    type_max_resident_.erase(type);
+  } else {
+    type_max_resident_[type] = limit;
+  }
+}
+
+int Cluster::ResidentLimitFor(const std::string& type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = type_max_resident_.find(type);
+  return it != type_max_resident_.end() ? it->second : 0;
+}
+
+void Cluster::NoteFaultLoad(Micros load_us) {
+  activation_fault_load_->Record(load_us);
+}
+
+void Cluster::NoteFaultWait(Micros wait_us) {
+  activation_fault_wait_->Record(wait_us);
 }
 
 Gauge* Cluster::MailboxDepthGauge(const std::string& type) {
@@ -442,6 +471,7 @@ MetricsSnapshot Cluster::SnapshotMetrics() const {
   reg.GetGauge("executor.steals")->Set(ex.steals);
   reg.GetGauge("executor.parks")->Set(ex.parks);
   reg.GetGauge("executor.queue_depth")->Set(ex.queue_depth);
+  directory_.PublishPartitionGauges();
   return metrics_.Snapshot();
 }
 

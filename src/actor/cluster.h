@@ -116,6 +116,13 @@ class Cluster {
   /// created afterwards — the limit is resolved once at activation time.
   void SetTypeMailboxDepth(const std::string& type, int depth);
 
+  /// Overrides the per-silo resident-activation cap for one actor type
+  /// (0 removes the override; the silo-wide
+  /// RuntimeOptions::max_resident_activations still applies). Takes effect
+  /// for activations created afterwards — the limit is resolved once at
+  /// activation time, like the mailbox depth.
+  void SetTypeMaxResident(const std::string& type, int limit);
+
   /// Registers a named grain-state storage provider.
   void RegisterStateStorage(const std::string& name,
                             std::shared_ptr<StateStorage> storage);
@@ -229,6 +236,20 @@ class Cluster {
   /// The cluster-wide "mailbox.depth.<type>" gauge, cached per type so the
   /// silo resolves it once per activation.
   Gauge* MailboxDepthGauge(const std::string& type);
+  /// Per-type resident-activation cap for an actor type (0 = only the
+  /// silo-wide cap applies). Resolved once per activation.
+  int ResidentLimitFor(const std::string& type) const;
+  /// Counts one working-set page-out ("activation.paged_out").
+  void NotePagedOut() { activation_paged_out_->Add(); }
+  /// Counts one activation fault ("activation.fault.count"): a message hit
+  /// a registered-but-paged actor and is re-creating it.
+  void NoteFaultIn() { activation_faults_->Add(); }
+  /// Records the storage-load leg of one fault (enqueue -> OnActivate
+  /// complete), "activation.fault.load_us".
+  void NoteFaultLoad(Micros load_us);
+  /// Records the end-to-end queue wait of the faulting message (enqueue ->
+  /// first turn dispatch), "activation.fault.queue_wait_us".
+  void NoteFaultWait(Micros wait_us);
   /// Counts envelopes dropped with nobody to notify (see
   /// ClusterCounters::dead_letters).
   void NoteDeadLetters(int64_t n) {
@@ -426,6 +447,13 @@ class Cluster {
   Counter* overload_mailbox_rejects_;
   Counter* overload_migrations_;
 
+  // Activation-paging counters and fault-latency histograms
+  // ("activation.*" series).
+  Counter* activation_paged_out_;
+  Counter* activation_faults_;
+  ConcurrentHistogram* activation_fault_load_;
+  ConcurrentHistogram* activation_fault_wait_;
+
   Counter* local_closure_sends_;
   Counter* wire_requests_;
   Counter* wire_request_bytes_;
@@ -450,6 +478,7 @@ class Cluster {
   std::unordered_map<std::string, Factory> factories_;
   std::unordered_map<std::string, std::shared_ptr<StateStorage>> storages_;
   std::unordered_map<std::string, int> type_mailbox_depth_;
+  std::unordered_map<std::string, int> type_max_resident_;
   std::unordered_map<std::string, ReminderEntry> reminders_;
   std::shared_ptr<bool> scanner_alive_;
   std::shared_ptr<bool> overload_alive_;

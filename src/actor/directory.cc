@@ -1,117 +1,238 @@
 #include "actor/directory.h"
 
+#include <utility>
+
+#include "common/telemetry.h"
+
 namespace aodb {
 
-Directory::Directory(int num_silos, Placement default_placement, uint64_t seed)
+namespace {
+
+int RoundUpPow2(int n) {
+  if (n < 1) return 1;
+  int p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Stripe index from the actor-id hash. kHash placement consumes the LOW bits
+// of the same hash (home silo = h % num_silos), so the stripe index folds the
+// high half in first — raw low bits would correlate stripe with home silo and
+// pile one silo's hash-placed actors onto a few stripes.
+size_t StripeOf(size_t h, size_t mask) {
+  uint64_t v = static_cast<uint64_t>(h);
+  return static_cast<size_t>(((v >> 32) ^ v) & mask);
+}
+
+}  // namespace
+
+Directory::Directory(int num_silos, Placement default_placement, uint64_t seed,
+                     int num_shards)
     : num_silos_(num_silos),
       default_placement_(default_placement),
-      live_(static_cast<size_t>(num_silos), 1),
-      rng_(seed) {}
+      num_shards_(RoundUpPow2(num_shards)),
+      shard_mask_(static_cast<size_t>(num_shards_) - 1),
+      parts_(new Partition[num_shards_]),
+      live_(new std::atomic<uint32_t>[static_cast<size_t>(num_silos)]) {
+  for (int i = 0; i < num_shards_; ++i) {
+    // Distinct deterministic stream per stripe; the golden-ratio multiply
+    // decorrelates adjacent stripe seeds.
+    parts_[i].rng =
+        Rng(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(i + 1)));
+  }
+  for (int i = 0; i < num_silos_; ++i) {
+    live_[i].store(1, std::memory_order_relaxed);
+  }
+}
+
+void Directory::BindMetrics(MetricsRegistry* metrics) {
+  for (int i = 0; i < num_shards_; ++i) {
+    const std::string prefix = "directory.partition." + std::to_string(i);
+    parts_[i].contention = metrics->GetCounter(prefix + ".contention");
+    parts_[i].entries_gauge = metrics->GetGauge(prefix + ".entries");
+  }
+}
 
 void Directory::SetTypePlacement(const std::string& type,
                                  Placement placement) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(placement_mu_);
   type_placement_[type] = placement;
 }
 
+Directory::Partition& Directory::PartitionFor(const ActorId& id) const {
+  return parts_[StripeOf(ActorIdHash()(id), shard_mask_)];
+}
+
+std::unique_lock<std::mutex> Directory::LockPartition(
+    const Partition& part) const {
+  std::unique_lock<std::mutex> lock(part.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    if (part.contention != nullptr) part.contention->Add();
+    lock.lock();
+  }
+  return lock;
+}
+
 SiloId Directory::LookupOrPlace(const ActorId& id, SiloId caller) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(id);
-  if (it != entries_.end()) return it->second;
-  SiloId silo = Place(id, caller);
+  Partition& part = PartitionFor(id);
+  auto lock = LockPartition(part);
+  auto it = part.entries.find(id);
+  if (it != part.entries.end()) return it->second.silo;
+  SiloId silo = Place(part, id, caller);
   // Never cache the no-live-silo sentinel: the next attempt re-places, so
   // the actor comes back as soon as any silo rejoins.
-  if (silo != kNoSilo) entries_.emplace(id, silo);
+  if (silo != kNoSilo) part.entries.emplace(id, Entry{silo, false});
   return silo;
 }
 
 std::optional<SiloId> Directory::Lookup(const ActorId& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(id);
-  if (it == entries_.end()) return std::nullopt;
+  Partition& part = PartitionFor(id);
+  auto lock = LockPartition(part);
+  auto it = part.entries.find(id);
+  if (it == part.entries.end()) return std::nullopt;
+  return it->second.silo;
+}
+
+std::optional<Directory::Entry> Directory::LookupEntry(
+    const ActorId& id) const {
+  Partition& part = PartitionFor(id);
+  auto lock = LockPartition(part);
+  auto it = part.entries.find(id);
+  if (it == part.entries.end()) return std::nullopt;
   return it->second;
 }
 
 bool Directory::Remove(const ActorId& id, SiloId expected) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(id);
-  if (it == entries_.end() || it->second != expected) return false;
-  entries_.erase(it);
+  Partition& part = PartitionFor(id);
+  auto lock = LockPartition(part);
+  auto it = part.entries.find(id);
+  if (it == part.entries.end() || it->second.silo != expected) return false;
+  part.entries.erase(it);
   return true;
 }
 
 bool Directory::Move(const ActorId& id, SiloId from, SiloId to) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (to < 0 || to >= num_silos_ || live_[to] == 0) return false;
-  auto it = entries_.find(id);
-  if (it == entries_.end() || it->second != from) return false;
-  it->second = to;
+  if (to < 0 || to >= num_silos_ || !LiveFlag(to)) return false;
+  Partition& part = PartitionFor(id);
+  auto lock = LockPartition(part);
+  auto it = part.entries.find(id);
+  if (it == part.entries.end() || it->second.silo != from) return false;
+  it->second.silo = to;
+  it->second.paged = false;
+  return true;
+}
+
+bool Directory::MarkPaged(const ActorId& id, SiloId expected) {
+  Partition& part = PartitionFor(id);
+  auto lock = LockPartition(part);
+  auto it = part.entries.find(id);
+  if (it == part.entries.end() || it->second.silo != expected) return false;
+  it->second.paged = true;
+  return true;
+}
+
+bool Directory::ClearPaged(const ActorId& id, SiloId expected) {
+  Partition& part = PartitionFor(id);
+  auto lock = LockPartition(part);
+  auto it = part.entries.find(id);
+  if (it == part.entries.end() || it->second.silo != expected) return false;
+  it->second.paged = false;
   return true;
 }
 
 void Directory::SetSiloLive(SiloId silo, bool live) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (silo >= 0 && silo < num_silos_) {
-    if ((live_[silo] != 0) != live) ++epoch_;
-    live_[silo] = live ? 1 : 0;
-  }
+  if (silo < 0 || silo >= num_silos_) return;
+  std::lock_guard<std::mutex> lock(membership_mu_);
+  uint32_t next = live ? 1u : 0u;
+  uint32_t prev = live_[static_cast<size_t>(silo)].exchange(
+      next, std::memory_order_acq_rel);
+  if (prev != next) epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 bool Directory::SiloLive(SiloId silo) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return silo >= 0 && silo < num_silos_ && live_[silo] != 0;
+  return silo >= 0 && silo < num_silos_ && LiveFlag(silo);
 }
 
 size_t Directory::PurgeSilo(SiloId silo) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++epoch_;
+  std::lock_guard<std::mutex> lock(membership_mu_);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
   size_t purged = 0;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second == silo) {
-      it = entries_.erase(it);
-      ++purged;
-    } else {
-      ++it;
+  for (int i = 0; i < num_shards_; ++i) {
+    Partition& part = parts_[i];
+    auto plock = LockPartition(part);
+    for (auto it = part.entries.begin(); it != part.entries.end();) {
+      if (it->second.silo == silo) {
+        it = part.entries.erase(it);
+        ++purged;
+      } else {
+        ++it;
+      }
     }
   }
   return purged;
 }
 
-uint64_t Directory::epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return epoch_;
-}
-
 size_t Directory::Count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size();
+  size_t total = 0;
+  for (int i = 0; i < num_shards_; ++i) {
+    auto lock = LockPartition(parts_[i]);
+    total += parts_[i].entries.size();
+  }
+  return total;
 }
 
 std::vector<std::pair<ActorId, SiloId>> Directory::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<ActorId, SiloId>> out;
-  out.reserve(entries_.size());
-  for (const auto& [id, silo] : entries_) out.emplace_back(id, silo);
+  out.reserve(Count());
+  for (int i = 0; i < num_shards_; ++i) {
+    auto lock = LockPartition(parts_[i]);
+    for (const auto& [id, entry] : parts_[i].entries) {
+      out.emplace_back(id, entry.silo);
+    }
+  }
   return out;
 }
 
-SiloId Directory::Place(const ActorId& id, SiloId caller) {
+void Directory::PublishPartitionGauges() const {
+  for (int i = 0; i < num_shards_; ++i) {
+    Partition& part = parts_[i];
+    if (part.entries_gauge == nullptr) continue;
+    size_t n;
+    {
+      auto lock = LockPartition(part);
+      n = part.entries.size();
+    }
+    part.entries_gauge->Set(static_cast<int64_t>(n));
+  }
+}
+
+SiloId Directory::Place(Partition& part, const ActorId& id, SiloId caller) {
   Placement p = default_placement_;
-  auto it = type_placement_.find(id.type);
-  if (it != type_placement_.end()) p = it->second;
+  {
+    std::shared_lock<std::shared_mutex> plock(placement_mu_);
+    auto it = type_placement_.find(id.type);
+    if (it != type_placement_.end()) p = it->second;
+  }
   switch (p) {
     case Placement::kPreferLocal:
-      if (caller != kClientSiloId && live_[caller]) return caller;
+      if (caller != kClientSiloId && caller >= 0 && caller < num_silos_ &&
+          LiveFlag(caller)) {
+        return caller;
+      }
       [[fallthrough]];
     case Placement::kRandom:
-      return RandomLive();
+      return RandomLive(part);
     case Placement::kHash: {
-      // Deterministic home silo; linear-probe past dead silos so hashed
-      // actors fail over (and fail back once their home restarts).
-      SiloId home = static_cast<SiloId>(ActorIdHash()(id) % num_silos_);
+      // Pure function of the id — no RNG draw, so hash placement lands
+      // identically across replay runs and shard counts regardless of what
+      // random placements interleave on this stripe. Linear-probe past dead
+      // silos so hashed actors fail over (and fail back once their home
+      // restarts).
+      SiloId home = static_cast<SiloId>(ActorIdHash()(id) %
+                                        static_cast<size_t>(num_silos_));
       for (int i = 0; i < num_silos_; ++i) {
         SiloId candidate = static_cast<SiloId>((home + i) % num_silos_);
-        if (live_[candidate]) return candidate;
+        if (LiveFlag(candidate)) return candidate;
       }
       return kNoSilo;
     }
@@ -119,13 +240,13 @@ SiloId Directory::Place(const ActorId& id, SiloId caller) {
   return 0;
 }
 
-SiloId Directory::RandomLive() {
+SiloId Directory::RandomLive(Partition& part) {
   int live_count = 0;
-  for (char l : live_) live_count += (l != 0);
+  for (int i = 0; i < num_silos_; ++i) live_count += LiveFlag(i) ? 1 : 0;
   if (live_count == 0) return kNoSilo;
-  int pick = static_cast<int>(rng_.NextBelow(live_count));
+  int pick = static_cast<int>(part.rng.NextBelow(live_count));
   for (int i = 0; i < num_silos_; ++i) {
-    if (live_[i] != 0 && pick-- == 0) return static_cast<SiloId>(i);
+    if (LiveFlag(i) && pick-- == 0) return static_cast<SiloId>(i);
   }
   return 0;
 }

@@ -1,12 +1,22 @@
 // Cluster-wide actor directory: the authoritative mapping from virtual actor
 // identity to the silo hosting its current activation. Placement decisions
 // are made here on first reference.
+//
+// The directory is sharded into N lock-striped partitions keyed by
+// ActorIdHash: each stripe owns its own mutex, hash map, and placement RNG,
+// so the hot lookup/place path only ever touches one stripe's lock.
+// Membership state (live flags, epoch) lives OUTSIDE the stripes as atomics:
+// lookups read it lock-free, and SetSiloLive/PurgeSilo serialize on a
+// separate membership mutex that the hot path never takes.
 
 #ifndef AODB_ACTOR_DIRECTORY_H_
 #define AODB_ACTOR_DIRECTORY_H_
 
+#include <atomic>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -17,10 +27,30 @@
 
 namespace aodb {
 
-/// Thread-safe directory with per-type placement policies.
+class Counter;
+class Gauge;
+class MetricsRegistry;
+
+/// Thread-safe sharded directory with per-type placement policies.
 class Directory {
  public:
-  Directory(int num_silos, Placement default_placement, uint64_t seed);
+  Directory(int num_silos, Placement default_placement, uint64_t seed,
+            int num_shards = 16);
+
+  /// One registration. `paged` means the hosting silo deactivated the
+  /// activation to storage under its working-set limit but KEPT the
+  /// registration: the actor is registered-but-not-resident, and the next
+  /// message delivered to `silo` faults it back in from persisted state.
+  struct Entry {
+    SiloId silo = kNoSilo;
+    bool paged = false;
+  };
+
+  /// Binds the per-stripe "directory.partition.<i>.*" metric series
+  /// (entries gauge, lock-contention counter). Called once by the Cluster
+  /// constructor; the directory works without it (metrics just stay
+  /// unbound).
+  void BindMetrics(MetricsRegistry* metrics);
 
   /// Overrides the placement policy for one actor type.
   void SetTypePlacement(const std::string& type, Placement placement);
@@ -35,6 +65,11 @@ class Directory {
   /// Returns the hosting silo, or nullopt if not activated.
   std::optional<SiloId> Lookup(const ActorId& id) const;
 
+  /// Returns the full entry (silo + paged flag), or nullopt. The hosting
+  /// silo's delivery path uses the paged flag to tell an activation fault
+  /// (registered cold actor) from ordinary stale mail.
+  std::optional<Entry> LookupEntry(const ActorId& id) const;
+
   /// Removes the entry if it currently maps to `expected` (deactivation).
   /// Returns true if removed.
   bool Remove(const ActorId& id, SiloId expected);
@@ -46,6 +81,17 @@ class Directory {
   /// or a dead target; the caller falls back to Remove + fresh placement.
   bool Move(const ActorId& id, SiloId from, SiloId to);
 
+  /// Marks the entry paged-out if it currently maps to `expected` (the
+  /// hosting silo evicted the activation under its working-set limit but
+  /// keeps the registration). Returns false on a stale mapping — the caller
+  /// then removes the entry instead, as for a plain deactivation.
+  bool MarkPaged(const ActorId& id, SiloId expected);
+
+  /// Clears the paged flag if the entry currently maps to `expected`
+  /// (fault-in: the silo re-created the activation). Returns false on a
+  /// stale mapping.
+  bool ClearPaged(const ActorId& id, SiloId expected);
+
   /// Marks a silo as live (placement candidate) or dead. New placements
   /// only consider live silos; entries pointing at dead silos are purged by
   /// PurgeSilo and treated as stale by the cluster.
@@ -54,36 +100,78 @@ class Directory {
 
   /// Drops every entry hosted on `silo` (silo crash) and bumps the
   /// directory epoch. Returns the number of activations whose registrations
-  /// were purged.
+  /// were purged. The epoch bumps before the stripes are purged one by one;
+  /// epoch semantics are unchanged — it only promises "routes resolved
+  /// under an older epoch may be stale", never the converse.
   size_t PurgeSilo(SiloId silo);
 
   /// Monotonic epoch, bumped on every membership-visible change (a silo
   /// marked dead/live or purged). Observers use it to detect that routes
-  /// resolved under an older epoch may be stale.
-  uint64_t epoch() const;
+  /// resolved under an older epoch may be stale. Lock-free read.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
-  /// Number of registered activations.
+  /// Number of registered activations (sums the stripes; each is locked
+  /// briefly in turn, so the count is a moment-in-time-ish total, exact
+  /// when nothing is concurrently registering).
   size_t Count() const;
 
-  /// Point-in-time copy of every registration (id -> hosting silo). Used by
-  /// the DST invariant checkers to cross-check silo catalogs against the
+  /// Point-in-time copy of every registration (id -> hosting silo). Copied
+  /// per-partition — lock, copy, unlock each stripe — so a million-entry
+  /// directory never stalls placements behind one global copy. Used by the
+  /// DST invariant checkers to cross-check silo catalogs against the
   /// directory's view of ownership.
   std::vector<std::pair<ActorId, SiloId>> Snapshot() const;
 
+  /// Stripe count (power of two).
+  int num_shards() const { return num_shards_; }
+
+  /// Refreshes the per-stripe "directory.partition.<i>.entries" gauges (one
+  /// short lock per stripe). Called from Cluster::SnapshotMetrics; no-op
+  /// before BindMetrics.
+  void PublishPartitionGauges() const;
+
  private:
-  SiloId Place(const ActorId& id, SiloId caller);
-  /// Uniformly random live silo, or kNoSilo when none is live.
-  SiloId RandomLive();
+  struct Partition {
+    mutable std::mutex mu;
+    std::unordered_map<ActorId, Entry, ActorIdHash> entries;
+    /// Stripe-private placement RNG (seeded seed ^ stripe index): random
+    /// placements on different stripes never serialize on a shared stream.
+    Rng rng{0};
+    Counter* contention = nullptr;
+    Gauge* entries_gauge = nullptr;
+  };
+
+  Partition& PartitionFor(const ActorId& id) const;
+  /// Locks one stripe, counting a failed try_lock as contention.
+  std::unique_lock<std::mutex> LockPartition(const Partition& part) const;
+  /// Placement decision for a fresh registration. Caller holds part.mu
+  /// (the RNG belongs to the stripe); membership is read lock-free.
+  SiloId Place(Partition& part, const ActorId& id, SiloId caller);
+  /// Uniformly random live silo from the stripe's RNG, or kNoSilo when
+  /// none is live.
+  SiloId RandomLive(Partition& part);
+  bool LiveFlag(SiloId silo) const {
+    return live_[static_cast<size_t>(silo)].load(std::memory_order_acquire) !=
+           0;
+  }
 
   const int num_silos_;
   const Placement default_placement_;
+  const int num_shards_;
+  const size_t shard_mask_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<ActorId, SiloId, ActorIdHash> entries_;
+  std::unique_ptr<Partition[]> parts_;
+
+  /// Membership state, off the stripe locks: the hot lookup path reads the
+  /// live flags and epoch as atomics; writers serialize on membership_mu_.
+  std::unique_ptr<std::atomic<uint32_t>[]> live_;
+  std::atomic<uint64_t> epoch_{0};
+  std::mutex membership_mu_;
+
+  /// Per-type placement policies: read on placement (entry miss) only,
+  /// written by setup code.
+  mutable std::shared_mutex placement_mu_;
   std::unordered_map<std::string, Placement> type_placement_;
-  std::vector<char> live_;
-  uint64_t epoch_ = 0;
-  Rng rng_;
 };
 
 }  // namespace aodb

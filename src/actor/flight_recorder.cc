@@ -33,6 +33,8 @@ const char* FlightEventName(FlightEventType type) {
     case FlightEventType::kDeadlineTimeout: return "deadline_timeout";
     case FlightEventType::kSlowTurn: return "slow_turn";
     case FlightEventType::kDeadLetter: return "dead_letter";
+    case FlightEventType::kPagedOut: return "paged_out";
+    case FlightEventType::kFaultIn: return "fault_in";
   }
   return "unknown";
 }

@@ -44,6 +44,10 @@ enum class FlightEventType : uint8_t {
   kDeadlineTimeout,     ///< Expired envelope dropped (detail: lateness us).
   kSlowTurn,            ///< Turn over threshold (detail: exec us).
   kDeadLetter,          ///< Envelope dropped with nobody to notify.
+  kPagedOut,            ///< Cold activation paged to storage; directory entry
+                        ///< kept and marked paged (detail: rerouted msgs).
+  kFaultIn,             ///< Paged actor re-activated on a message (detail:
+                        ///< storage-load latency us).
 };
 
 /// Stable lower_snake_case name of an event type ("slow_turn", ...).

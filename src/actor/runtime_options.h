@@ -183,6 +183,20 @@ struct RuntimeOptions {
   /// front). Batching amortizes executor queue round-trips for hot actors;
   /// the cap bounds how long one actor can monopolize a worker. 1 disables.
   int max_turn_batch = 16;
+  /// Lock stripes of the actor directory (rounded up to a power of two,
+  /// minimum 1). Each stripe owns its own mutex, hash partition, and
+  /// placement RNG, so concurrent lookups/placements on different stripes
+  /// never contend. 16 keeps per-stripe metrics readable while removing the
+  /// global-mutex wall on multi-worker configs.
+  int directory_shards = 16;
+  /// Per-silo working-set cap on resident activations (0 = unbounded, the
+  /// default). Past the cap the silo pages the least-recently-active idle
+  /// activations out to storage — their directory registration is KEPT and
+  /// marked paged, so the next message faults the actor back in on the same
+  /// silo instead of re-placing it. Busy actors are never paged mid-turn
+  /// (same kIdle -> kDeactivating claim as the idle sweeper). Override per
+  /// actor type with Cluster::SetTypeMaxResident.
+  int max_resident_activations = 0;
   NetworkOptions network;
   WireOptions wire;
   MembershipOptions membership;

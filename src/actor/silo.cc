@@ -30,7 +30,8 @@ Silo::Silo(SiloId id, Cluster* cluster, Executor* executor)
       shed_hard_watermark_(
           cluster->options().overload.shed_hard_watermark > 0
               ? cluster->options().overload.shed_hard_watermark
-              : 2 * cluster->options().overload.shed_watermark) {}
+              : 2 * cluster->options().overload.shed_watermark),
+      max_resident_(cluster->options().max_resident_activations) {}
 
 void Silo::Deliver(Envelope env) {
   if (!alive()) {
@@ -92,9 +93,12 @@ void Silo::Deliver(Envelope env) {
     // silo owns the actor. Mail can arrive after a migration or idle
     // deactivation already erased the activation (it was routed before the
     // directory moved); resurrecting a second activation here would
-    // split-brain the actor's state, so stale mail re-routes instead.
-    auto owner = cluster_->directory().Lookup(env.target);
-    if (!owner.has_value() || owner.value() != id_) {
+    // split-brain the actor's state, so stale mail re-routes instead. A
+    // PAGED entry pointing here is the exception: the actor is registered
+    // but cold (working-set eviction kept its registration), so this create
+    // is a measured activation fault, not stale mail.
+    auto owner = cluster_->directory().LookupEntry(env.target);
+    if (!owner.has_value() || owner->silo != id_) {
       Reroute(std::move(env));
       return;
     }
@@ -104,12 +108,35 @@ void Silo::Deliver(Envelope env) {
     auto fresh = std::make_shared<Activation>(env.target);
     fresh->mailbox_limit = cluster_->MailboxLimitFor(env.target.type);
     fresh->depth_gauge = cluster_->MailboxDepthGauge(env.target.type);
-    std::lock_guard<std::mutex> lock(mu_);
-    auto [it, inserted] = catalog_.emplace(env.target, fresh);
-    act = it->second;
-    if (inserted) {
-      ++stats_.activations_created;
-      is_new = true;
+    fresh->resident_limit = cluster_->ResidentLimitFor(env.target.type);
+    if (owner->paged) {
+      fresh->fault_in = true;
+      fresh->fault_start_us = env.enqueue_us;
+    }
+    bool evict_needed = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto [it, inserted] = catalog_.emplace(env.target, fresh);
+      act = it->second;
+      if (inserted) {
+        ++stats_.activations_created;
+        is_new = true;
+        LruPushBackLocked(act);
+        if (act->resident_limit > 0) {
+          ++type_residency_[act->id.type].resident;
+        }
+        evict_needed = OverResidencyLocked(act);
+      }
+    }
+    if (is_new) {
+      if (owner->paged) {
+        // Only the winning creator clears the paged flag and counts the
+        // fault; BeginActivate stamps the load latency once OnActivate's
+        // storage read completes.
+        cluster_->directory().ClearPaged(env.target, id_);
+        cluster_->NoteFaultIn();
+      }
+      if (evict_needed) MaybeScheduleEviction();
     }
   }
   bool schedule = false;
@@ -196,6 +223,10 @@ void Silo::BeginActivate(const ActivationPtr& act) {
           {
             std::lock_guard<std::mutex> lock(mu_);
             catalog_.erase(act->id);
+            LruUnlinkLocked(act);
+            if (act->resident_limit > 0) {
+              --type_residency_[act->id.type].resident;
+            }
             ++stats_.activations_removed;
           }
           for (auto& e : pending) {
@@ -249,6 +280,18 @@ void Silo::BeginActivate(const ActivationPtr& act) {
                                                  id_, act->id.ToString(),
                                                  /*trace_id=*/0, /*detail=*/0,
                                                  now);
+              if (act->fault_in) {
+                // Cold hit -> storage load complete: the fault's load leg.
+                // (The end-to-end queue wait is stamped by the first turn.)
+                Micros load_us = now - act->fault_start_us;
+                cluster_->NoteFaultLoad(load_us);
+                cluster_->flight_recorder().Record(FlightEventType::kFaultIn,
+                                                   id_, act->id.ToString(),
+                                                   /*trace_id=*/0, load_us,
+                                                   now);
+              }
+              // Loading is over: the activation's recency rank starts now.
+              LruTouchThrottled(act, now);
               if (schedule) PostTurn(act, cost);
             });
       },
@@ -321,12 +364,24 @@ void Silo::RunTurn(const ActivationPtr& act) {
     FinishDeactivation(act, nullptr);
     return;
   }
+  // Splice to the recent end of the LRU; throttled so hot actors do not
+  // take the silo-wide lock every turn. The sweep and the paging eviction
+  // pass pop victims from the stale front.
+  LruTouchThrottled(act, executor_->clock()->Now());
   if (schedule) PostTurn(act, cost);
 }
 
 void Silo::ProcessEnvelope(const ActivationPtr& act, Envelope& env) {
   Micros turn_start = executor_->clock()->Now();
   Micros queue_wait = env.enqueue_us > 0 ? turn_start - env.enqueue_us : 0;
+  if (act->fault_in) {
+    // First turn after an activation fault: this envelope's queue wait is
+    // the full caller-visible fault penalty (enqueue -> storage load ->
+    // dispatch). Plain field: set before the activation was published,
+    // cleared here on the serialized turn path.
+    act->fault_in = false;
+    cluster_->NoteFaultWait(queue_wait);
+  }
   bool expired = env.deadline_us > 0 && turn_start > env.deadline_us;
   if (expired) {
     // Too late to be useful: don't burn a turn on work whose caller has
@@ -401,19 +456,22 @@ void Silo::ProcessEnvelope(const ActivationPtr& act, Envelope& env) {
 }
 
 int Silo::SweepIdle(Micros idle_timeout_us) {
-  // Pre-filter by the atomic last-active stamp while holding only the
-  // catalog lock: on a busy silo most activations are recently active, so
-  // the sweep snapshots the few stale candidates instead of copying the
-  // whole catalog and taking every activation's lock.
+  // The LRU list orders activations by recency (stalest at the front), so
+  // the sweep walks from the front and stops at the first fresh entry: cost
+  // is O(stale candidates), independent of how many activations are
+  // resident. The atomic last-active stamp pre-filters without taking any
+  // activation's lock.
   Micros now = executor_->clock()->Now();
   std::vector<ActivationPtr> candidates;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (auto& [id, act] : catalog_) {
-      if (now - act->last_active.load(std::memory_order_relaxed) >=
+    for (const auto& act : lru_) {
+      ++stats_.sweep_examined;
+      if (now - act->last_active.load(std::memory_order_relaxed) <
           idle_timeout_us) {
-        candidates.push_back(act);
+        break;
       }
+      candidates.push_back(act);
     }
   }
   int initiated = 0;
@@ -436,6 +494,137 @@ int Silo::SweepIdle(Micros idle_timeout_us) {
     }
   }
   return initiated;
+}
+
+void Silo::LruTouchThrottled(const ActivationPtr& act, Micros now) {
+  constexpr Micros kLruTouchIntervalUs = 100 * kMicrosPerMilli;
+  if (now - act->lru_stamp.load(std::memory_order_relaxed) <
+      kLruTouchIntervalUs) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  LruTouchLocked(act);
+}
+
+void Silo::LruPushBackLocked(const ActivationPtr& act) {
+  lru_.push_back(act);
+  act->lru_it = std::prev(lru_.end());
+  act->in_lru = true;
+  act->lru_stamp.store(executor_->clock()->Now(), std::memory_order_relaxed);
+}
+
+void Silo::LruTouchLocked(const ActivationPtr& act) {
+  if (!act->in_lru) return;
+  lru_.splice(lru_.end(), lru_, act->lru_it);
+  act->lru_stamp.store(executor_->clock()->Now(), std::memory_order_relaxed);
+}
+
+void Silo::LruUnlinkLocked(const ActivationPtr& act) {
+  if (!act->in_lru) return;
+  lru_.erase(act->lru_it);
+  act->in_lru = false;
+}
+
+bool Silo::OverResidencyLocked(const ActivationPtr& act) const {
+  if (max_resident_ > 0 &&
+      static_cast<int64_t>(catalog_.size()) - pending_page_outs_ >
+          max_resident_) {
+    return true;
+  }
+  if (act->resident_limit > 0) {
+    auto it = type_residency_.find(act->id.type);
+    if (it != type_residency_.end() &&
+        it->second.resident - it->second.pending_out > act->resident_limit) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Silo::MaybeScheduleEviction() {
+  if (eviction_scheduled_.exchange(true, std::memory_order_acq_rel)) return;
+  // Cost 0: the pass is bookkeeping, not simulated actor work — and paging
+  // is off (max_resident_activations = 0) in the virtual-time figure
+  // benches, so no eviction task ever posts there.
+  executor_->Post(Task{[this] { RunEvictionPass(); }, 0});
+}
+
+void Silo::RunEvictionPass() {
+  // Re-arm before working: an insert racing this pass either sees the flag
+  // still set (this pass will observe its activation) or schedules a fresh
+  // pass. Missing a trigger entirely is not possible.
+  eviction_scheduled_.store(false, std::memory_order_release);
+  if (!alive()) return;
+  // Over-cap types whose oldest entry hides deep behind fresh silo-wide
+  // entries are found within this bound per pass; the next over-cap insert
+  // re-triggers, so enforcement converges without an O(resident) walk.
+  constexpr int kTypeScanBound = 128;
+  // Each round either pages one victim out or rotates one busy entry to the
+  // recent end; the guard bounds a pass where everything stale is busy.
+  constexpr int kMaxRounds = 1024;
+  // Hysteresis: once the hard cap trips, drain to a low-water mark a bit
+  // below it so one pass (one executor wakeup, one LRU walk) absorbs a
+  // burst of faults instead of re-arming per over-cap insert. Zero slack
+  // for small caps — tests and DST sweeps keep exact-cap semantics.
+  const int64_t slack =
+      max_resident_ > 0 ? std::min<int64_t>(max_resident_ / 64, 4096) : 0;
+  const int64_t low_water = max_resident_ - slack;
+  bool draining = false;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    ActivationPtr victim;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      int64_t resident =
+          static_cast<int64_t>(catalog_.size()) - pending_page_outs_;
+      if (max_resident_ > 0 && resident > max_resident_) draining = true;
+      if (draining && resident <= low_water) draining = false;
+      if (draining) {
+        if (!lru_.empty()) victim = lru_.front();
+      } else {
+        int scanned = 0;
+        for (const auto& act : lru_) {
+          if (++scanned > kTypeScanBound) break;
+          if (act->resident_limit <= 0) continue;
+          auto it = type_residency_.find(act->id.type);
+          if (it != type_residency_.end() &&
+              it->second.resident - it->second.pending_out >
+                  act->resident_limit) {
+            victim = act;
+            break;
+          }
+        }
+      }
+    }
+    if (!victim) return;  // Caps satisfied (or no eligible entry in bound).
+    bool claimed = false;
+    {
+      // Same claim as the idle sweeper: only a quiescent activation pages
+      // out, so a busy actor is never interrupted mid-turn and the
+      // migration/sweep initiators stay mutually exclusive with paging.
+      std::lock_guard<std::mutex> lock(victim->mu);
+      if (victim->state == ActState::kIdle && victim->mailbox.empty()) {
+        victim->state = ActState::kDeactivating;
+        victim->page_out = true;
+        claimed = true;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (claimed) {
+        LruUnlinkLocked(victim);
+        ++pending_page_outs_;
+        if (victim->resident_limit > 0) {
+          ++type_residency_[victim->id.type].pending_out;
+        }
+        ++stats_.activations_paged_out;
+      } else {
+        // Busy (or already closing): rotate it to the recent end so the
+        // next round looks at the next-oldest instead of spinning here.
+        LruTouchLocked(victim);
+      }
+    }
+    if (claimed) FinishDeactivation(victim, nullptr);
+  }
 }
 
 Future<Status> Silo::DeactivateAll() {
@@ -485,6 +674,10 @@ int64_t Silo::Kill() {
     victims.reserve(catalog_.size());
     for (auto& [id, act] : catalog_) victims.push_back(act);
     catalog_.clear();
+    for (auto& act : lru_) act->in_lru = false;
+    lru_.clear();
+    type_residency_.clear();
+    pending_page_outs_ = 0;
     stats_.activations_removed += static_cast<int64_t>(victims.size());
     zombies_.insert(zombies_.end(), victims.begin(), victims.end());
     backlog.swap(wedge_backlog_);
@@ -548,10 +741,12 @@ void Silo::FinishDeactivation(const ActivationPtr& act,
               Status st = r.ok() ? r.value() : r.status();
               std::deque<Envelope> pending;
               SiloId migrate_to = kNoSilo;
+              bool page_out = false;
               {
                 std::lock_guard<std::mutex> lock(act->mu);
                 act->state = ActState::kClosed;
                 migrate_to = act->migrate_to;
+                page_out = act->page_out;
                 pending.swap(act->mailbox);
               }
               DrainQueueAccounting(act, pending.size());
@@ -563,14 +758,33 @@ void Silo::FinishDeactivation(const ActivationPtr& act,
               bool moved =
                   migrate_to != kNoSilo &&
                   cluster_->directory().Move(act->id, id_, migrate_to);
-              if (!moved) cluster_->directory().Remove(act->id, id_);
+              // Page-out: KEEP the registration, flagged paged, so the next
+              // message faults the actor back in here instead of
+              // re-placing. MarkPaged refuses a stale mapping (e.g. a
+              // PurgeSilo raced the eviction) — then remove as for a plain
+              // deactivation.
+              bool paged = !moved && page_out &&
+                           cluster_->directory().MarkPaged(act->id, id_);
+              if (!moved && !paged) cluster_->directory().Remove(act->id, id_);
               {
                 std::lock_guard<std::mutex> lock(mu_);
                 catalog_.erase(act->id);
+                LruUnlinkLocked(act);
+                if (act->resident_limit > 0) {
+                  --type_residency_[act->id.type].resident;
+                  if (page_out) --type_residency_[act->id.type].pending_out;
+                }
+                if (page_out) --pending_page_outs_;
                 ++stats_.activations_removed;
               }
               Micros now = executor_->clock()->Now();
-              if (moved) {
+              if (paged) {
+                cluster_->NotePagedOut();
+                cluster_->flight_recorder().Record(
+                    FlightEventType::kPagedOut, id_, act->id.ToString(),
+                    /*trace_id=*/0,
+                    /*detail=*/static_cast<int64_t>(pending.size()), now);
+              } else if (moved) {
                 cluster_->NoteMigration();
                 cluster_->flight_recorder().Record(
                     FlightEventType::kMigrate, id_, act->id.ToString(),

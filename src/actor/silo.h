@@ -8,9 +8,11 @@
 
 #include <atomic>
 #include <deque>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +30,14 @@ struct SiloStats {
   int64_t messages_processed = 0;
   int64_t activations_created = 0;
   int64_t activations_removed = 0;
+  /// Activations deactivated by the working-set limit (directory entry kept
+  /// and marked paged).
+  int64_t activations_paged_out = 0;
+  /// LRU entries examined across all SweepIdle calls. The sweep walks the
+  /// LRU oldest-first and stops at the first fresh entry, so this grows with
+  /// the number of STALE activations, not the resident count — the
+  /// regression test in scale_paging asserts exactly that.
+  int64_t sweep_examined = 0;
 };
 
 /// Hosts and executes actor activations on one executor.
@@ -154,6 +164,30 @@ class Silo {
     /// Last turn-completion time. Atomic (relaxed) so the idle sweeper can
     /// pre-filter candidates without taking every activation's mu.
     std::atomic<Micros> last_active{0};
+    /// Per-type residency cap this activation counts against (0 = only the
+    /// silo-wide cap applies). Resolved once at creation like mailbox_limit.
+    int resident_limit = 0;
+    /// True while this activation is deactivating because the working-set
+    /// limit evicted it (as opposed to idle timeout / migration / shutdown):
+    /// FinishDeactivation then KEEPS the directory entry and marks it paged.
+    /// Guarded by mu (set only under a successful kIdle claim).
+    bool page_out = false;
+    /// True from creation until the first turn when this activation was
+    /// created for a message to a paged-out (registered but cold) actor.
+    /// BeginActivate measures the storage-load latency; the first
+    /// ProcessEnvelope measures the end-to-end queue wait. Both fields are
+    /// only touched on the activation's serialized create/turn path.
+    bool fault_in = false;
+    Micros fault_start_us = 0;
+    /// Position in the silo's recency list (valid iff in_lru). Guarded by
+    /// the SILO's mu_, not this mu — the list is silo state.
+    std::list<std::shared_ptr<Activation>>::iterator lru_it;
+    bool in_lru = false;
+    /// When this activation last moved to the recent end of the list.
+    /// Advisory (relaxed): read without mu_ to skip the lock + splice for
+    /// activations touched within the throttle window, so hot actors do
+    /// not serialize every turn on the silo-wide mutex. Written under mu_.
+    std::atomic<Micros> lru_stamp{0};
   };
   using ActivationPtr = std::shared_ptr<Activation>;
 
@@ -174,6 +208,29 @@ class Silo {
   void FinishDeactivation(const ActivationPtr& act,
                           std::function<void(Status)> done);
   void Reroute(Envelope env);
+  /// --- Working-set (LRU) maintenance. All *Locked helpers require mu_. ---
+  /// Appends a new activation at the most-recent end.
+  void LruPushBackLocked(const ActivationPtr& act);
+  /// Moves an existing entry to the most-recent end (O(1) splice).
+  void LruTouchLocked(const ActivationPtr& act);
+  /// Throttled touch for the per-turn hot path: recency only needs to be
+  /// accurate to within the throttle window (idle timeouts and eviction
+  /// decisions work on much coarser scales), so activations spliced within
+  /// the last 100ms skip the silo-wide lock entirely.
+  void LruTouchThrottled(const ActivationPtr& act, Micros now);
+  /// Removes an entry (claimed for deactivation, failed load, or kill).
+  void LruUnlinkLocked(const ActivationPtr& act);
+  /// True when the silo-wide or `act`'s per-type residency cap is exceeded,
+  /// counting activations already claimed for page-out as gone.
+  bool OverResidencyLocked(const ActivationPtr& act) const;
+  /// Posts one eviction pass to the executor unless one is already pending.
+  void MaybeScheduleEviction();
+  /// Evicts least-recently-active idle activations (kIdle + empty mailbox,
+  /// claimed under each victim's mu exactly like the idle sweeper) until the
+  /// caps are satisfied or nothing is claimable. Busy entries are re-queued
+  /// at the recent end so the pass is O(evicted + skipped-this-pass), never
+  /// O(catalog).
+  void RunEvictionPass();
   /// Current mailbox depth of one activation (takes its lock briefly; only
   /// called on rare warn/flight-event paths, never per message).
   static int64_t MailboxDepth(const ActivationPtr& act);
@@ -192,6 +249,9 @@ class Silo {
   /// (hard watermark defaults to 2x the soft one). 0 = shedding off.
   const int64_t shed_watermark_;
   const int64_t shed_hard_watermark_;
+  /// Silo-wide resident-activation cap (0 = unbounded) from
+  /// RuntimeOptions::max_resident_activations.
+  const int max_resident_;
   std::atomic<bool> alive_{true};
   std::atomic<bool> wedged_{false};
   /// Off the silo lock: bumped once per turn batch, not under mu_.
@@ -204,6 +264,24 @@ class Silo {
   /// Envelopes swallowed while wedged; failed en masse by Kill().
   std::deque<Envelope> wedge_backlog_;
   std::unordered_map<ActorId, ActivationPtr, ActorIdHash> catalog_;
+  /// Recency list over catalog_ entries: least-recently-active at the front.
+  /// Maintained from turn completions (splice-to-back), so both the idle
+  /// sweep and paging eviction pop victims from the front in O(1) instead of
+  /// scanning the catalog. Guarded by mu_.
+  std::list<ActivationPtr> lru_;
+  /// Activations claimed for page-out whose FinishDeactivation has not yet
+  /// erased them from catalog_. Subtracted from the resident count so one
+  /// eviction pass doesn't over-evict while deactivations are in flight.
+  int64_t pending_page_outs_ = 0;
+  /// Per-type residency accounting, only for types with a per-type cap
+  /// (Cluster::SetTypeMaxResident). Guarded by mu_.
+  struct TypeResidency {
+    int64_t resident = 0;
+    int64_t pending_out = 0;
+  };
+  std::unordered_map<std::string, TypeResidency> type_residency_;
+  /// Collapses bursts of over-cap inserts into one posted eviction pass.
+  std::atomic<bool> eviction_scheduled_{false};
   /// Activations closed by Kill(). Retained (not destroyed) because
   /// in-flight turns, timers, and storage completions may still hold raw
   /// pointers into them; they are inert (kClosed) and are released when the

@@ -1,0 +1,61 @@
+// Zipfian integer generator (YCSB-style): draws from {0, ..., n-1} with
+// P(k) proportional to 1/(k+1)^theta. Used by the scale benchmarks to model
+// skewed actor popularity — theta = 0.99 is the YCSB default and the
+// conventional "heavy skew" setting in storage/actor-runtime evaluations.
+//
+// Construction is O(n) (one zeta-sum pass); each Next() is O(1) using the
+// Gray et al. quick-zipf rejection-free transform ("Quickly generating
+// billion-record synthetic databases", SIGMOD '94).
+
+#ifndef AODB_COMMON_ZIPF_H_
+#define AODB_COMMON_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace aodb {
+
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta = 0.99)
+      : n_(n), theta_(theta), zeta_(Zeta(n, theta)) {
+    alpha_ = 1.0 / (1.0 - theta_);
+    double zeta2 = Zeta(2, theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zeta_);
+  }
+
+  uint64_t n() const { return n_; }
+
+  /// Draws one rank in [0, n): rank 0 is the most popular item.
+  uint64_t Next(Rng* rng) {
+    double u = rng->NextDouble();
+    double uz = u * zeta_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    auto k = static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return k >= n_ ? n_ - 1 : k;
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  const uint64_t n_;
+  const double theta_;
+  const double zeta_;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+}  // namespace aodb
+
+#endif  // AODB_COMMON_ZIPF_H_

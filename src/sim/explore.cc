@@ -147,6 +147,7 @@ RuntimeOptions MakeRuntimeOptions(const FaultPlan& plan,
   o.membership.eviction_quorum = 2;
   o.membership.failover.max_retries = 3;
   o.membership.failover.initial_backoff_us = 10 * kMicrosPerMilli;
+  o.max_resident_activations = config.max_resident_activations;
   o.lifecycle.enable_idle_deactivation = true;
   o.lifecycle.idle_timeout_us = 8 * kMicrosPerMilli;
   o.lifecycle.scan_interval_us = 5 * kMicrosPerMilli;
@@ -302,13 +303,24 @@ RunResult RunScenario(const FaultPlan& plan, const ExploreConfig& config) {
               "} at t=" + std::to_string(harness.Now()) + "us");
           continue;
         }
-        auto owner = cluster.directory().Lookup(id);
-        if (!owner.has_value() || owner.value() != silos[0]) {
+        auto owner = cluster.directory().LookupEntry(id);
+        if (!owner.has_value() || owner->silo != silos[0]) {
           out.violations.push_back(
               "stray activation: " + id.ToString() + " live on silo " +
               std::to_string(silos[0]) + " but directory says " +
-              (owner.has_value() ? std::to_string(owner.value()) : "<none>") +
+              (owner.has_value() ? std::to_string(owner->silo) : "<none>") +
               " at t=" + std::to_string(harness.Now()) + "us");
+        } else if (owner->paged) {
+          // The paged flag promises "registered but NOT resident"; the
+          // winning fault-in creator clears it in the same synchronous
+          // block that puts the activation in the catalog, so a live
+          // activation under a paged entry is a paging/directory desync
+          // (double fault-in, or an eviction that never left the catalog).
+          out.violations.push_back(
+              "paged-desync: " + id.ToString() + " live on silo " +
+              std::to_string(silos[0]) +
+              " but its directory entry is marked paged at t=" +
+              std::to_string(harness.Now()) + "us");
         }
       }
     };

@@ -56,6 +56,13 @@ struct ExploreConfig {
   /// Heal-to-teardown settle: long enough for restarts, membership
   /// convergence, and every outstanding retry chain to run dry.
   Micros settle_us = 12 * kMicrosPerSecond;
+  /// Per-silo working-set cap (RuntimeOptions::max_resident_activations).
+  /// Deliberately tiny against num_actors so every sweep exercises the
+  /// paging path: evictions, paged directory entries, and activation faults
+  /// race the injected crashes/partitions in ordinary exploration runs.
+  /// 0 disables paging.
+  int max_resident_activations = 3;
+
   /// Quiesce-point cadence of the catalog/directory invariant checker.
   /// Deliberately finer than the idle-deactivation timeout: a split-brained
   /// activation created by stale mail only lives until the idle scanner

@@ -102,14 +102,33 @@ class PersistentActor : public ActorBase {
     return done.GetFuture();
   }
 
-  /// Flushes dirty state before the activation is destroyed.
+  /// Flushes dirty state before the activation is destroyed — and drains
+  /// writes already on the wire even when the state is clean. The drain is
+  /// a correctness requirement, not a courtesy: an actor turn ends when
+  /// WriteStateAsync is *issued*, so an idle activation can be reclaimed
+  /// (idle sweep, paging, migration) while its last write is still in
+  /// flight. Writes are only serialized within one activation's core; if
+  /// the successor activation loads and writes before the predecessor's
+  /// write lands, the late write silently rolls the key back — an acked
+  /// update lost (caught by the DST conservation checker under
+  /// low-cap paging, seed 29). Holding deactivation until the queue is
+  /// empty orders every successor load after every predecessor write.
   Future<Status> OnDeactivate() override {
-    bool need_flush;
     {
       std::lock_guard<std::mutex> lock(core_->mu);
-      need_flush = core_->dirty_count > 0;
+      if (core_->dirty_count == 0 && !core_->write_pending) {
+        return Future<Status>::FromValue(Status::OK());
+      }
+      if (core_->dirty_count == 0) {
+        // Clean state, write(s) still on the wire: hold deactivation until
+        // the last one lands.
+        Promise<Status> done;
+        core_->drain_waiters.push_back(done);
+        return done.GetFuture();
+      }
     }
-    if (!need_flush) return Future<Status>::FromValue(Status::OK());
+    // Dirty: the flush snapshot queues behind every in-flight write, so its
+    // completion implies the full drain.
     return WriteStateAsync();
   }
 
@@ -233,6 +252,10 @@ class PersistentActor : public ActorBase {
     int64_t marks_in_flight = 0;
     bool write_pending = false;
     std::deque<QueuedWrite> queue;
+    /// Deactivations waiting for the in-flight write queue to drain (see
+    /// OnDeactivate). Completed OK once write_pending clears; the write's
+    /// own status went to its caller.
+    std::vector<Promise<Status>> drain_waiters;
     int64_t retries = 0;
     uint64_t op_seq = 0;
 
@@ -258,6 +281,7 @@ class PersistentActor : public ActorBase {
                   done](Result<Status>&& r) {
           Status st = r.ok() ? r.value() : r.status();
           std::optional<QueuedWrite> next;
+          std::vector<Promise<Status>> drained;
           {
             std::lock_guard<std::mutex> lock(core->mu);
             core->marks_in_flight -= marks;
@@ -267,6 +291,7 @@ class PersistentActor : public ActorBase {
               core->queue.pop_front();
             } else {
               core->write_pending = false;
+              drained.swap(core->drain_waiters);
             }
           }
           if (!st.ok()) {
@@ -274,6 +299,9 @@ class PersistentActor : public ActorBase {
                      key.c_str(), st.ToString().c_str());
           }
           done.SetValue(st);
+          for (Promise<Status>& waiter : drained) {
+            waiter.SetValue(Status::OK());
+          }
           if (next.has_value()) {
             IssueWrite(std::move(core), ss, exec, policy, std::move(key),
                        std::move(*next));
